@@ -1,0 +1,331 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// Table 1 row, one per code figure (Figures 1-4), plus ablations for
+// the design choices DESIGN.md calls out. Metrics reported through
+// testing.B's ReportMetric carry the table's columns: code/data bytes,
+// task and RTOS kilocycles, and EFSM sizes.
+//
+// The shapes to look for (see EXPERIMENTS.md for the recorded runs):
+//
+//   - Stack: the 3-task partition has more total memory and more total
+//     cycles than the 1-task one (RTOS overhead at small granularity);
+//   - Buffer: the 1-task (synchronous) partition has much bigger task
+//     code (product automaton) but runs fewer total cycles.
+package ecl
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/efsm"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/sim"
+)
+
+// benchPackets scales the stack workload for benchmarking (the paper's
+// full 500-packet run is the eclbench default and is recorded in
+// EXPERIMENTS.md).
+const benchPackets = 100
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+func table1System(b *testing.B, example, partition string) (sim.System, func(sim.System) error) {
+	b.Helper()
+	switch example {
+	case "Stack":
+		info, err := sim.AnalyzeSource("stack.ecl", paperex.Stack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sys sim.System
+		if partition == "sync" {
+			sys, err = sim.BuildSync(info, "toplevel", sim.Config{})
+		} else {
+			sys, err = sim.BuildAsync(info, "toplevel", sim.Config{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, func(s sim.System) error {
+			_, err := sim.RunStack(s, benchPackets)
+			return err
+		}
+	default:
+		info, err := sim.AnalyzeSource("buffer.ecl", paperex.Buffer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sys sim.System
+		if partition == "sync" {
+			sys, err = sim.BuildSync(info, "bufferctl", sim.Config{})
+		} else {
+			sys, err = sim.BuildAsync(info, "bufferctl", sim.Config{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, func(s sim.System) error {
+			_, err := sim.RunBuffer(s, 4, 48)
+			return err
+		}
+	}
+}
+
+func benchTable1(b *testing.B, example, partition string) {
+	sys, run := table1System(b, example, partition)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m := sys.Metrics()
+	b.ReportMetric(float64(m.TaskImage.CodeBytes), "task-code-B")
+	b.ReportMetric(float64(m.TaskImage.DataBytes), "task-data-B")
+	b.ReportMetric(float64(m.RTOSImage.CodeBytes), "rtos-code-B")
+	b.ReportMetric(float64(m.RTOSImage.DataBytes), "rtos-data-B")
+	b.ReportMetric(float64(m.TaskCycles)/float64(b.N)/1000, "task-kcyc/run")
+	b.ReportMetric(float64(m.KernelCycles)/float64(b.N)/1000, "rtos-kcyc/run")
+	b.ReportMetric(float64(m.States), "efsm-states")
+}
+
+// BenchmarkTable1StackSync is Table 1 row "Stack / 1 task".
+func BenchmarkTable1StackSync(b *testing.B) { benchTable1(b, "Stack", "sync") }
+
+// BenchmarkTable1StackAsync is Table 1 row "Stack / 3 tasks".
+func BenchmarkTable1StackAsync(b *testing.B) { benchTable1(b, "Stack", "async") }
+
+// BenchmarkTable1BufferSync is Table 1 row "Buffer / 1 task".
+func BenchmarkTable1BufferSync(b *testing.B) { benchTable1(b, "Buffer", "sync") }
+
+// BenchmarkTable1BufferAsync is Table 1 row "Buffer / 3 tasks".
+func BenchmarkTable1BufferAsync(b *testing.B) { benchTable1(b, "Buffer", "async") }
+
+// ---------------------------------------------------------------------------
+// Figures 1-4: the compiler flow over each listing
+
+func benchFigure(b *testing.B, src, module string) {
+	var design *core.Design
+	for i := 0; i < b.N; i++ {
+		prog, err := core.Parse(module+".ecl", src, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		design, err = prog.Compile(module)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := design.Stats()
+	b.ReportMetric(float64(st.EFSM.States), "efsm-states")
+	b.ReportMetric(float64(st.EFSM.Leaves), "transitions")
+	b.ReportMetric(float64(st.DataFuncs), "data-funcs")
+	b.ReportMetric(float64(st.Image.CodeBytes), "code-B")
+}
+
+// BenchmarkFigure1Assemble compiles Figure 1 (byte assembly; reactive
+// for-loop with await).
+func BenchmarkFigure1Assemble(b *testing.B) {
+	benchFigure(b, paperex.Header+paperex.Assemble, "assemble")
+}
+
+// BenchmarkFigure2CheckCRC compiles Figure 2 (CRC check; the data loop
+// extracts as a C function — expect data-funcs >= 1).
+func BenchmarkFigure2CheckCRC(b *testing.B) {
+	benchFigure(b, paperex.Header+paperex.CheckCRC, "checkcrc")
+}
+
+// BenchmarkFigure3ProcHdr compiles Figure 3 (par + abort killing a
+// multi-instant computation).
+func BenchmarkFigure3ProcHdr(b *testing.B) {
+	benchFigure(b, paperex.Header+paperex.ProcHdr, "prochdr")
+}
+
+// BenchmarkFigure4TopLevel compiles Figure 4 (three-way par with
+// internal signals: the whole stack as one EFSM).
+func BenchmarkFigure4TopLevel(b *testing.B) {
+	benchFigure(b, paperex.Stack, "toplevel")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+
+func compileWithPolicy(b *testing.B, src, module string, pol lower.Policy) *core.Design {
+	b.Helper()
+	prog, err := core.Parse(module+".ecl", src, core.Options{Policy: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	design, err := prog.Compile(module)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return design
+}
+
+func benchSplitPolicy(b *testing.B, pol lower.Policy) {
+	var design *core.Design
+	for i := 0; i < b.N; i++ {
+		design = compileWithPolicy(b, paperex.Buffer, "bufferctl", pol)
+	}
+	st := design.Stats()
+	b.ReportMetric(float64(st.EFSM.States), "efsm-states")
+	b.ReportMetric(float64(st.EFSM.DataBranches), "data-branches")
+	b.ReportMetric(float64(st.DataFuncs), "data-funcs")
+	b.ReportMetric(float64(st.Image.CodeBytes), "code-B")
+}
+
+// BenchmarkAblationSplitPolicyMaximal measures the paper's implemented
+// scheme: everything except data loops goes to the reactive part, so
+// Esterel case analysis sees all the data branches (bigger EFSM).
+func BenchmarkAblationSplitPolicyMaximal(b *testing.B) {
+	benchSplitPolicy(b, lower.MaximalReactive)
+}
+
+// BenchmarkAblationSplitPolicyMinimal measures the Section 6
+// future-work scheme: pure-data runs extract to C, keeping the EFSM
+// minimal (fewer data branches, smaller code).
+func BenchmarkAblationSplitPolicyMinimal(b *testing.B) {
+	benchSplitPolicy(b, lower.MinimalReactive)
+}
+
+// loopStyleData uses a data loop (instantaneous, extracted to C).
+const loopStyleData = `
+typedef unsigned char byte;
+module sum (input byte v, output byte total) {
+    int i; int acc;
+    while (1) {
+        await (v);
+        acc = 0;
+        for (i = 0; i < 8; i++) { acc = acc + v; }
+        emit_v (total, acc);
+    }
+}`
+
+// loopStyleReactive forces the same loop into EFSM transitions with an
+// empty await() delta cycle per iteration (the paper: "This mechanism
+// can also be used to force a loop to be implemented as a sequence of
+// EFSM transitions, instead of being extracted as C code").
+const loopStyleReactive = `
+typedef unsigned char byte;
+module sum (input byte v, output byte total) {
+    int i; int acc;
+    while (1) {
+        await (v);
+        acc = 0;
+        for (i = 0; i < 8; i++) { acc = acc + v; await (); }
+        emit_v (total, acc);
+    }
+}`
+
+func benchLoopStyle(b *testing.B, src string) {
+	var design *core.Design
+	for i := 0; i < b.N; i++ {
+		design = compileWithPolicy(b, src, "sum", lower.MaximalReactive)
+	}
+	st := design.Stats()
+	b.ReportMetric(float64(st.EFSM.States), "efsm-states")
+	b.ReportMetric(float64(st.DataFuncs), "data-funcs")
+	b.ReportMetric(float64(st.Image.CodeBytes), "code-B")
+}
+
+// BenchmarkAblationLoopStyleData: the loop extracts as one atomic C
+// function (one EFSM transition does all 8 iterations).
+func BenchmarkAblationLoopStyleData(b *testing.B) { benchLoopStyle(b, loopStyleData) }
+
+// BenchmarkAblationLoopStyleReactive: the delta-cycle loop becomes 8
+// EFSM transitions (more states, reaction spread over instants).
+func BenchmarkAblationLoopStyleReactive(b *testing.B) { benchLoopStyle(b, loopStyleReactive) }
+
+func abroMachine(b *testing.B) *efsm.Machine {
+	b.Helper()
+	design := compileWithPolicy(b, paperex.ABRO, "abro", lower.MaximalReactive)
+	return design.Machine
+}
+
+// BenchmarkAblationCircuitOptOn synthesizes ABRO with folding and
+// structural hashing.
+func BenchmarkAblationCircuitOptOn(b *testing.B) {
+	m := abroMachine(b)
+	var c *circuit.Circuit
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err = circuit.FromEFSMOpts(m, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.CollectStats().Gates), "gates")
+}
+
+// BenchmarkAblationCircuitOptOff synthesizes the raw netlist.
+func BenchmarkAblationCircuitOptOff(b *testing.B) {
+	m := abroMachine(b)
+	var c *circuit.Circuit
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err = circuit.FromEFSMOpts(m, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.CollectStats().Gates), "gates")
+}
+
+// BenchmarkAblationMinimizeStack measures EFSM state minimization on
+// the whole stack machine.
+func BenchmarkAblationMinimizeStack(b *testing.B) {
+	design := compileWithPolicy(b, paperex.Stack, "toplevel", lower.MaximalReactive)
+	before := len(design.Machine.States)
+	var after int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		min, _ := efsm.Minimize(design.Machine)
+		after = len(min.States)
+	}
+	b.ReportMetric(float64(before), "states-before")
+	b.ReportMetric(float64(after), "states-after")
+}
+
+// ---------------------------------------------------------------------------
+// Raw engine benchmarks
+
+// BenchmarkInterpreterStackPacket measures the reference interpreter
+// pushing one packet through the stack.
+func BenchmarkInterpreterStackPacket(b *testing.B) {
+	design := compileWithPolicy(b, paperex.Stack, "toplevel", lower.MaximalReactive)
+	m := design.Interpreter()
+	pkt := paperex.MakePacket(true)
+	inByte := design.Lowered.Module.Signal("in_byte")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < paperex.PktSize; j++ {
+			if _, err := m.React(interpInput(inByte, pkt[j])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEFSMStackPacket measures the compiled EFSM on the same
+// workload; expect a large speedup over the interpreter (the paper's
+// point about compiled reaction speed).
+func BenchmarkEFSMStackPacket(b *testing.B) {
+	design := compileWithPolicy(b, paperex.Stack, "toplevel", lower.MaximalReactive)
+	rt := design.Runtime()
+	pkt := paperex.MakePacket(true)
+	inByte := design.Lowered.Module.Signal("in_byte")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < paperex.PktSize; j++ {
+			if _, err := rt.Step(efsmInput(inByte, pkt[j])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command eclbench regenerates the paper's evaluation: Table 1
+// (synchronous vs asynchronous implementation trade-offs for the
+// protocol stack and the audio buffer controller) and per-figure
+// compilation statistics.
+//
+// Usage:
+//
+//	eclbench [-packets 500] [-messages 8] [-samples 48] [-figures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/sim"
+)
+
+func main() {
+	packets := flag.Int("packets", 500, "stack testbench packets (paper: 500)")
+	messages := flag.Int("messages", 8, "buffer testbench messages")
+	samples := flag.Int("samples", 48, "samples per message")
+	figures := flag.Bool("figures", false, "also print per-figure compilation stats")
+	flag.Parse()
+
+	cfg := sim.DefaultTable1Config()
+	cfg.Packets = *packets
+	cfg.Messages = *messages
+	cfg.SamplesPerMessage = *samples
+
+	fmt.Printf("Reproducing Table 1 (%d packets, %d messages x %d samples)\n\n",
+		cfg.Packets, cfg.Messages, cfg.SamplesPerMessage)
+	rows, err := sim.Table1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eclbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(sim.FormatTable1(rows))
+
+	fmt.Println("Paper's Table 1 for comparison (memory bytes, kcycles):")
+	fmt.Println("  Stack  1 task : 1008/160, RTOS 5584/1504 | 4283 / 8032")
+	fmt.Println("  Stack  3 tasks: 1632/352, RTOS 5872/1744 | 4161 / 8815")
+	fmt.Println("  Buffer 1 task : 7072/80,  RTOS 7120/3040 |   51 /  123")
+	fmt.Println("  Buffer 3 tasks: 2544/144, RTOS 7376/3536 |   57 /  145")
+
+	if *figures {
+		fmt.Println("\nPer-figure compilation statistics:")
+		figureStats()
+	}
+}
+
+func figureStats() {
+	cases := []struct {
+		fig, module, src string
+	}{
+		{"Figure 1", "assemble", paperex.Header + paperex.Assemble},
+		{"Figure 2", "checkcrc", paperex.Header + paperex.CheckCRC},
+		{"Figure 3", "prochdr", paperex.Header + paperex.ProcHdr},
+		{"Figure 4", "toplevel", paperex.Stack},
+	}
+	for _, c := range cases {
+		prog, err := core.Parse(c.module+".ecl", c.src, core.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", c.fig, err)
+			continue
+		}
+		design, err := prog.Compile(c.module)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", c.fig, err)
+			continue
+		}
+		st := design.Stats()
+		fmt.Printf("  %s (%s): %d EFSM states, %d transitions, %d data funcs, est. %d code bytes\n",
+			c.fig, c.module, st.EFSM.States, st.EFSM.Leaves, st.DataFuncs, st.Image.CodeBytes)
+	}
+}

@@ -1,0 +1,150 @@
+// Command eclsim simulates a compiled ECL module against an input
+// script. Each script line is one instant: a whitespace-separated list
+// of present inputs, with values as name=int for valued signals; blank
+// lines and '#' comments are idle instants. The simulator prints the
+// emitted outputs per instant.
+//
+// Usage:
+//
+//	eclsim [-module name] [-mode interp|efsm] [-n instants] [-script file] file.ecl
+//
+// Without a script, eclsim runs -n idle instants (useful for modules
+// driven by empty await() delta cycles).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cval"
+	"repro/internal/interp"
+	"repro/internal/kernel"
+)
+
+func main() {
+	module := flag.String("module", "", "module to simulate (default: last in file)")
+	mode := flag.String("mode", "efsm", "execution engine: interp (reference) or efsm (compiled)")
+	script := flag.String("script", "", "input script file (one instant per line)")
+	n := flag.Int("n", 10, "idle instants to run when no script is given")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eclsim [flags] file.ecl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := core.Parse(filepath.Base(flag.Arg(0)), string(src), core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	mod := *module
+	if mod == "" {
+		mods := prog.Modules()
+		mod = mods[len(mods)-1]
+	}
+	design, err := prog.Compile(mod)
+	if err != nil {
+		fatal(err)
+	}
+
+	var lines []string
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		f.Close()
+	} else {
+		lines = make([]string, *n)
+	}
+
+	sigByName := map[string]*kernel.Signal{}
+	for _, s := range design.Lowered.Module.Inputs {
+		sigByName[s.Name] = s
+	}
+
+	var stepInterp *interp.Machine
+	var stepEFSM = design.Runtime()
+	if *mode == "interp" {
+		stepInterp = design.Interpreter()
+	}
+
+	for i, line := range lines {
+		line = strings.TrimSpace(line)
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		inputs := map[*kernel.Signal]cval.Value{}
+		for _, tok := range strings.Fields(line) {
+			name, valText, hasVal := strings.Cut(tok, "=")
+			sig := sigByName[name]
+			if sig == nil {
+				fatal(fmt.Errorf("instant %d: unknown input %q", i, name))
+			}
+			var v cval.Value
+			if hasVal {
+				x, err := strconv.ParseInt(valText, 0, 64)
+				if err != nil {
+					fatal(fmt.Errorf("instant %d: bad value %q", i, tok))
+				}
+				v = cval.FromInt(sig.Type, x)
+			}
+			inputs[sig] = v
+		}
+
+		var outs []string
+		var terminated bool
+		if stepInterp != nil {
+			r, err := stepInterp.React(inputs)
+			if err != nil {
+				fatal(fmt.Errorf("instant %d: %w", i, err))
+			}
+			for s, v := range r.Outputs {
+				outs = append(outs, formatOut(s, v))
+			}
+			terminated = r.Terminated
+		} else {
+			r, err := stepEFSM.Step(inputs)
+			if err != nil {
+				fatal(fmt.Errorf("instant %d: %w", i, err))
+			}
+			for s, v := range r.Outputs {
+				outs = append(outs, formatOut(s, v))
+			}
+			terminated = r.Terminated
+		}
+		sort.Strings(outs)
+		fmt.Printf("instant %3d: in=[%s] out=[%s]\n", i, line, strings.Join(outs, " "))
+		if terminated {
+			fmt.Println("program terminated")
+			break
+		}
+	}
+}
+
+func formatOut(s *kernel.Signal, v cval.Value) string {
+	if v.IsValid() {
+		return s.Name + "=" + v.String()
+	}
+	return s.Name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eclsim:", err)
+	os.Exit(1)
+}

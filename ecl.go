@@ -1,0 +1,78 @@
+// Package ecl reproduces "ECL: A Specification Environment for
+// System-Level Design" (Lavagno & Sentovich, DAC 1999): a compiler and
+// simulation environment for the ECL language — ANSI C extended with
+// Esterel's reactive constructs (signals, await, emit, present, abort,
+// weak_abort, suspend, par, modules).
+//
+// The pipeline follows the paper's three phases:
+//
+//  1. an ECL file is parsed and split into a reactive part (an Esterel
+//     kernel program), extracted C data functions, and glue;
+//  2. the reactive part is compiled into an extended finite state
+//     machine (EFSM);
+//  3. the EFSM is synthesized to software (C or Go) or, when the data
+//     part is empty, to hardware (a gate-level netlist rendered as
+//     Verilog or VHDL).
+//
+// A reference interpreter provides Esterel's logical semantics with
+// constructive causality analysis; system-level simulation runs a
+// design either as one synchronous task or as several asynchronous
+// tasks under a simulated RTOS with MIPS R3000-style cost accounting,
+// which regenerates the paper's Table 1.
+//
+// Quick start:
+//
+//	prog, err := ecl.Parse("abro.ecl", src, ecl.Options{})
+//	design, err := prog.Compile("abro")
+//	rt := design.Runtime()
+//	out, err := rt.Step(...)
+package ecl
+
+import (
+	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/sim"
+)
+
+// Options configures a compilation; see core.Options.
+type Options = core.Options
+
+// Program is an analyzed translation unit.
+type Program = core.Program
+
+// Design is a compiled module.
+type Design = core.Design
+
+// Stats summarizes a compiled design.
+type Stats = core.Stats
+
+// Splitter policies (the paper's current scheme and its future-work
+// alternative).
+const (
+	// MaximalReactive translates as much as possible into the reactive
+	// part (the paper's implemented scheme).
+	MaximalReactive = lower.MaximalReactive
+	// MinimalReactive extracts every pure-data run as C (the paper's
+	// Section 6 legacy-code scheme).
+	MinimalReactive = lower.MinimalReactive
+)
+
+// Parse preprocesses, parses, and analyzes ECL source text.
+func Parse(name, src string, opts Options) (*Program, error) {
+	return core.Parse(name, src, opts)
+}
+
+// Table1Config sizes the Table 1 workloads.
+type Table1Config = sim.Table1Config
+
+// Table1Row is one row of the reproduced Table 1.
+type Table1Row = sim.Table1Row
+
+// DefaultTable1Config mirrors the paper's testbench (500 packets).
+func DefaultTable1Config() Table1Config { return sim.DefaultTable1Config() }
+
+// Table1 regenerates the paper's Table 1 measurements.
+func Table1(cfg Table1Config) ([]Table1Row, error) { return sim.Table1(cfg) }
+
+// FormatTable1 renders Table 1 rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string { return sim.FormatTable1(rows) }

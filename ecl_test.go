@@ -1,0 +1,164 @@
+package ecl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/cval"
+	"repro/internal/interp"
+	"repro/internal/kernel"
+	"repro/internal/paperex"
+)
+
+// interpInput and efsmInput are shared with bench_test.go.
+func interpInput(sig *kernel.Signal, b byte) interp.Inputs {
+	return interp.Inputs{sig: cval.FromInt(ctypes.UChar, int64(b))}
+}
+
+func efsmInput(sig *kernel.Signal, b byte) map[*kernel.Signal]cval.Value {
+	return map[*kernel.Signal]cval.Value{sig: cval.FromInt(ctypes.UChar, int64(b))}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog, err := Parse("abro.ecl", paperex.ABRO, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mods := prog.Modules(); len(mods) != 1 || mods[0] != "abro" {
+		t.Fatalf("modules: %v", mods)
+	}
+	design, err := prog.Compile("abro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := design.Runtime()
+	if _, err := rt.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	a := design.Lowered.Module.Signal("A")
+	bSig := design.Lowered.Module.Signal("B")
+	if _, err := rt.Step(map[*kernel.Signal]cval.Value{a: {}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Step(map[*kernel.Signal]cval.Value{bSig: {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for s := range r.Outputs {
+		if s.Name == "O" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("O missing after A then B")
+	}
+}
+
+func TestPublicAPIArtifacts(t *testing.T) {
+	prog, err := Parse("stack.ecl", paperex.Stack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("toplevel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(design.EsterelText(), "module toplevel:") {
+		t.Error("Esterel artifact wrong")
+	}
+	if !strings.Contains(design.CText(), "toplevel_react") {
+		t.Error("C artifact wrong")
+	}
+	goSrc, err := design.GoText("stack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(goSrc, "package stack") {
+		t.Error("Go artifact wrong")
+	}
+	if !strings.Contains(design.GlueText(), "ecl_sigval_") {
+		t.Error("glue artifact wrong")
+	}
+	if !strings.Contains(design.DotText(), "digraph") {
+		t.Error("DOT artifact wrong")
+	}
+	// The stack has a data part: hardware synthesis must refuse.
+	if _, err := design.VerilogText(); err == nil {
+		t.Error("hardware synthesis should fail for a module with data code")
+	}
+}
+
+func TestPublicAPIHardware(t *testing.T) {
+	prog, err := Parse("abro.ecl", paperex.ABRO, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("abro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := design.VerilogText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "module abro") {
+		t.Error("verilog wrong")
+	}
+	vh, err := design.VHDLText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vh, "entity abro") {
+		t.Error("vhdl wrong")
+	}
+}
+
+func TestPublicAPIMinimize(t *testing.T) {
+	prog, err := Parse("abro.ecl", paperex.ABRO, Options{Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("abro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Stats().EFSM.States == 0 {
+		t.Error("no states after minimize")
+	}
+}
+
+func TestPublicAPIIncludesAndDefines(t *testing.T) {
+	src := `#include "types.h"
+module m(input word w, output pure big) {
+    while (1) { await (w); if (w > LIMIT) emit (big); }
+}`
+	prog, err := Parse("m.ecl", src, Options{
+		Includes: map[string]string{"types.h": "typedef unsigned short word;\n"},
+		Defines:  map[string]string{"LIMIT": "100"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Compile("m"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1PublicEntry(t *testing.T) {
+	cfg := DefaultTable1Config()
+	cfg.Packets = 4
+	cfg.Messages = 1
+	cfg.SamplesPerMessage = 12
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(FormatTable1(rows), "Stack") {
+		t.Error("format broken")
+	}
+}

@@ -1,0 +1,62 @@
+// The voicemail example drives the audio buffer controller from the
+// paper's voice-mail pager design: a record controller, a playback
+// controller, and a buffer-level monitor running concurrently. It
+// records messages, plays them back, and shows the synchronous
+// product-automaton growth against the asynchronous partition — the
+// paper's second Table 1 experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/paperex"
+	"repro/internal/sim"
+)
+
+func main() {
+	info, err := sim.AnalyzeSource("buffer.ecl", paperex.Buffer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Voice-mail pager audio buffer controller")
+	fmt.Println("(record -> stop -> playback cycles; levelmon tracks the fill level)")
+	fmt.Println()
+
+	type result struct {
+		mode string
+		m    sim.Metrics
+		res  *sim.BufferResult
+	}
+	var results []result
+	for _, mode := range []string{"sync", "async"} {
+		var sys sim.System
+		if mode == "sync" {
+			sys, err = sim.BuildSync(info, "bufferctl", sim.Config{})
+		} else {
+			sys, err = sim.BuildAsync(info, "bufferctl", sim.Config{})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunBuffer(sys, 4, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{mode, sys.Metrics(), res})
+	}
+
+	for _, r := range results {
+		fmt.Printf("%-5s: %d mic samples in, %d speaker samples out, %d low-water marks\n",
+			r.mode, r.res.Samples, r.res.SpkSamples, r.res.LowWaters)
+		fmt.Printf("       %d EFSM states, task code %d bytes, RTOS cycles %d\n",
+			r.m.States, r.m.TaskImage.CodeBytes, r.m.KernelCycles)
+	}
+	sync, async := results[0], results[1]
+	fmt.Printf("\nSynchronous task code is %.1fx the asynchronous sum (%d vs %d bytes):\n",
+		float64(sync.m.TaskImage.CodeBytes)/float64(async.m.TaskImage.CodeBytes),
+		sync.m.TaskImage.CodeBytes, async.m.TaskImage.CodeBytes)
+	fmt.Println("the product of three independent mode machines explodes, exactly")
+	fmt.Println("the trade-off the paper's Table 1 reports for this example.")
+}

@@ -1,0 +1,683 @@
+// Package ast defines the abstract syntax tree for ECL: the supported
+// C subset (declarations, statements, expressions, types) extended
+// with ECL's reactive constructs — modules, signals, emit, await,
+// halt, present, do/abort, do/weak_abort, do/suspend, and par.
+package ast
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is implemented by all top-level declaration nodes.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// TypeExpr is implemented by syntactic type expressions.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Ident is a name: a variable, signal, function, module, or type name.
+type Ident struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// BasicLit is an integer, float, char, or string literal.
+type BasicLit struct {
+	LitPos source.Pos
+	Kind   token.Kind // token.INT, token.FLOAT, token.CHAR, token.STRING
+	Value  string     // literal text as written
+}
+
+// Unary is a prefix operator expression: -x, +x, !x, ~x, ++x, --x, &x, *x.
+type Unary struct {
+	OpPos source.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// Postfix is a postfix increment or decrement: x++, x--.
+type Postfix struct {
+	X  Expr
+	Op token.Kind // token.INC or token.DEC
+}
+
+// Binary is a binary operator expression.
+type Binary struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+// Assign is an assignment expression: lhs = rhs, lhs += rhs, etc.
+type Assign struct {
+	LHS Expr
+	Op  token.Kind // token.ASSIGN or a compound-assignment kind
+	RHS Expr
+}
+
+// Cond is the ternary conditional: cond ? then : else.
+type Cond struct {
+	CondX Expr
+	Then  Expr
+	Else  Expr
+}
+
+// Call is a function call or, when the callee names a module, a module
+// instantiation (distinguished during semantic analysis).
+type Call struct {
+	Fun  *Ident
+	Args []Expr
+}
+
+// Index is an array subscript: x[i].
+type Index struct {
+	X   Expr
+	Sub Expr
+}
+
+// Member is a field selection: x.f or x->f.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// Cast is a C cast: (type) x.
+type Cast struct {
+	LP   source.Pos
+	Type TypeExpr
+	X    Expr
+}
+
+// SizeofExpr is sizeof(type) or sizeof(expr).
+type SizeofExpr struct {
+	KwPos source.Pos
+	Type  TypeExpr // exactly one of Type, X is set
+	X     Expr
+}
+
+// Paren is a parenthesized expression, retained for faithful printing.
+type Paren struct {
+	LP source.Pos
+	X  Expr
+}
+
+// Pos implementations for expressions.
+
+// Pos returns the position of the identifier.
+func (e *Ident) Pos() source.Pos { return e.NamePos }
+
+// Pos returns the position of the literal.
+func (e *BasicLit) Pos() source.Pos { return e.LitPos }
+
+// Pos returns the position of the operator.
+func (e *Unary) Pos() source.Pos { return e.OpPos }
+
+// Pos returns the position of the operand.
+func (e *Postfix) Pos() source.Pos { return e.X.Pos() }
+
+// Pos returns the position of the left operand.
+func (e *Binary) Pos() source.Pos { return e.X.Pos() }
+
+// Pos returns the position of the left-hand side.
+func (e *Assign) Pos() source.Pos { return e.LHS.Pos() }
+
+// Pos returns the position of the condition.
+func (e *Cond) Pos() source.Pos { return e.CondX.Pos() }
+
+// Pos returns the position of the callee.
+func (e *Call) Pos() source.Pos { return e.Fun.Pos() }
+
+// Pos returns the position of the indexed expression.
+func (e *Index) Pos() source.Pos { return e.X.Pos() }
+
+// Pos returns the position of the selected expression.
+func (e *Member) Pos() source.Pos { return e.X.Pos() }
+
+// Pos returns the position of the opening parenthesis.
+func (e *Cast) Pos() source.Pos { return e.LP }
+
+// Pos returns the position of the sizeof keyword.
+func (e *SizeofExpr) Pos() source.Pos { return e.KwPos }
+
+// Pos returns the position of the opening parenthesis.
+func (e *Paren) Pos() source.Pos { return e.LP }
+
+func (*Ident) exprNode()      {}
+func (*BasicLit) exprNode()   {}
+func (*Unary) exprNode()      {}
+func (*Postfix) exprNode()    {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Cast) exprNode()       {}
+func (*SizeofExpr) exprNode() {}
+func (*Paren) exprNode()      {}
+
+// ---------------------------------------------------------------------------
+// Types (syntactic)
+
+// BuiltinKind enumerates C scalar type spellings after specifier merging.
+type BuiltinKind int
+
+// Builtin scalar kinds.
+const (
+	Void BuiltinKind = iota
+	Bool
+	Char
+	SChar
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	Float
+	Double
+)
+
+var builtinNames = [...]string{
+	Void: "void", Bool: "bool", Char: "char", SChar: "signed char",
+	UChar: "unsigned char", Short: "short", UShort: "unsigned short",
+	Int: "int", UInt: "unsigned int", Long: "long", ULong: "unsigned long",
+	Float: "float", Double: "double",
+}
+
+// String returns the C spelling of the builtin kind.
+func (k BuiltinKind) String() string {
+	if int(k) < len(builtinNames) {
+		return builtinNames[k]
+	}
+	return "BuiltinKind(?)"
+}
+
+// BuiltinType is a scalar type written with C specifier keywords.
+type BuiltinType struct {
+	KwPos source.Pos
+	Kind  BuiltinKind
+}
+
+// NamedType refers to a typedef name.
+type NamedType struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// Field is one member of a struct or union.
+type Field struct {
+	Type TypeExpr
+	Name string
+	// Dims holds array dimensions applied to the field name, innermost
+	// last, e.g. "byte data[56]" has one entry.
+	Dims []Expr
+}
+
+// StructType is a struct or union type, either a full definition
+// (Fields non-nil) or a reference by tag (Fields nil).
+type StructType struct {
+	KwPos  source.Pos
+	Union  bool
+	Tag    string // optional
+	Fields []*Field
+}
+
+// EnumItem is one enumerator, with an optional explicit value.
+type EnumItem struct {
+	Name  string
+	Value Expr // may be nil
+}
+
+// EnumType is an enum definition or tag reference.
+type EnumType struct {
+	KwPos source.Pos
+	Tag   string
+	Items []*EnumItem // nil for a reference
+}
+
+// ArrayType wraps an element type with a length.
+type ArrayType struct {
+	Elem TypeExpr
+	Len  Expr
+}
+
+// PointerType is a pointer to an element type. ECL allows pointers only
+// in extracted data code.
+type PointerType struct {
+	StarPos source.Pos
+	Elem    TypeExpr
+}
+
+// Pos returns the position of the type keyword.
+func (t *BuiltinType) Pos() source.Pos { return t.KwPos }
+
+// Pos returns the position of the type name.
+func (t *NamedType) Pos() source.Pos { return t.NamePos }
+
+// Pos returns the position of the struct/union keyword.
+func (t *StructType) Pos() source.Pos { return t.KwPos }
+
+// Pos returns the position of the enum keyword.
+func (t *EnumType) Pos() source.Pos { return t.KwPos }
+
+// Pos returns the position of the element type.
+func (t *ArrayType) Pos() source.Pos { return t.Elem.Pos() }
+
+// Pos returns the position of the star.
+func (t *PointerType) Pos() source.Pos { return t.StarPos }
+
+func (*BuiltinType) typeNode() {}
+func (*NamedType) typeNode()   {}
+func (*StructType) typeNode()  {}
+func (*EnumType) typeNode()    {}
+func (*ArrayType) typeNode()   {}
+func (*PointerType) typeNode() {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	LBrace source.Pos
+	Stmts  []Stmt
+}
+
+// VarDecl declares one local variable (or, at top level, wraps into a
+// declaration). Multiple declarators in one source declaration are
+// split into separate VarDecls by the parser.
+type VarDecl struct {
+	DeclPos source.Pos
+	Type    TypeExpr
+	Name    string
+	Init    Expr // may be nil
+}
+
+// SignalDecl declares a module-local signal:
+//
+//	signal pure kill_check;
+//	signal packet_t packet;
+type SignalDecl struct {
+	KwPos source.Pos
+	Pure  bool
+	Type  TypeExpr // nil when Pure
+	Name  string
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+}
+
+// Empty is a lone semicolon.
+type Empty struct {
+	SemiPos source.Pos
+}
+
+// If is the C conditional statement.
+type If struct {
+	KwPos source.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// While is the C while loop.
+type While struct {
+	KwPos source.Pos
+	Cond  Expr
+	Body  Stmt
+}
+
+// DoWhile is the C do/while loop.
+type DoWhile struct {
+	KwPos source.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// For is the C for loop. Init and Post may be nil; Cond may be nil.
+type For struct {
+	KwPos source.Pos
+	Init  Stmt
+	Cond  Expr
+	Post  Stmt
+	Body  Stmt
+}
+
+// CaseClause is one case (or default, when Values is nil) of a switch.
+type CaseClause struct {
+	KwPos  source.Pos
+	Values []Expr // nil means default
+	Body   []Stmt
+}
+
+// Switch is the C switch statement.
+type Switch struct {
+	KwPos source.Pos
+	Tag   Expr
+	Cases []*CaseClause
+}
+
+// Break is the C break statement.
+type Break struct {
+	KwPos source.Pos
+}
+
+// Continue is the C continue statement.
+type Continue struct {
+	KwPos source.Pos
+}
+
+// Return is the C return statement.
+type Return struct {
+	KwPos source.Pos
+	X     Expr // may be nil
+}
+
+// Emit is ECL's emit(signal) / emit_v(signal, value).
+type Emit struct {
+	KwPos  source.Pos
+	Signal *Ident
+	Value  Expr // nil for a pure emit
+}
+
+// Await is ECL's await(signal_expression). A nil Sig is the empty
+// await(), which ends the instant unconditionally (a "delta cycle").
+type Await struct {
+	KwPos source.Pos
+	Sig   Expr
+}
+
+// Halt is ECL's halt(): stop until preempted.
+type Halt struct {
+	KwPos source.Pos
+}
+
+// Present is ECL's present(sigexpr) stmt [else stmt].
+type Present struct {
+	KwPos source.Pos
+	Sig   Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// AbortKind distinguishes the three preemption statements that share
+// the do { ... } <kind> (sigexpr) syntax.
+type AbortKind int
+
+// Preemption kinds.
+const (
+	// Strong abort kills the body the instant the condition holds.
+	Strong AbortKind = iota
+	// Weak abort lets the body run for the triggering instant.
+	Weak
+	// Susp suspends (freezes) the body while the condition holds.
+	Susp
+)
+
+// String names the preemption kind with its ECL keyword.
+func (k AbortKind) String() string {
+	switch k {
+	case Strong:
+		return "abort"
+	case Weak:
+		return "weak_abort"
+	case Susp:
+		return "suspend"
+	}
+	return "AbortKind(?)"
+}
+
+// DoPreempt is do stmt abort(sig) [handle stmt], do stmt
+// weak_abort(sig) [handle stmt], or do stmt suspend(sig).
+type DoPreempt struct {
+	KwPos   source.Pos
+	Kind    AbortKind
+	Body    Stmt
+	Sig     Expr
+	Handler Stmt // only for Strong/Weak; may be nil
+}
+
+// Par is ECL's par { stmt; stmt; ... }: concurrent execution of each
+// top-level statement in the block.
+type Par struct {
+	KwPos    source.Pos
+	Branches []Stmt
+}
+
+// Pos implementations for statements.
+
+// Pos returns the position of the opening brace.
+func (s *Block) Pos() source.Pos { return s.LBrace }
+
+// Pos returns the position of the declaration.
+func (s *VarDecl) Pos() source.Pos { return s.DeclPos }
+
+// Pos returns the position of the signal keyword.
+func (s *SignalDecl) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the expression.
+func (s *ExprStmt) Pos() source.Pos { return s.X.Pos() }
+
+// Pos returns the position of the semicolon.
+func (s *Empty) Pos() source.Pos { return s.SemiPos }
+
+// Pos returns the position of the if keyword.
+func (s *If) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the while keyword.
+func (s *While) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the do keyword.
+func (s *DoWhile) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the for keyword.
+func (s *For) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the switch keyword.
+func (s *Switch) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the break keyword.
+func (s *Break) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the continue keyword.
+func (s *Continue) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the return keyword.
+func (s *Return) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the emit keyword.
+func (s *Emit) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the await keyword.
+func (s *Await) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the halt keyword.
+func (s *Halt) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the present keyword.
+func (s *Present) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the do keyword.
+func (s *DoPreempt) Pos() source.Pos { return s.KwPos }
+
+// Pos returns the position of the par keyword.
+func (s *Par) Pos() source.Pos { return s.KwPos }
+
+func (*Block) stmtNode()      {}
+func (*VarDecl) stmtNode()    {}
+func (*SignalDecl) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*Empty) stmtNode()      {}
+func (*If) stmtNode()         {}
+func (*While) stmtNode()      {}
+func (*DoWhile) stmtNode()    {}
+func (*For) stmtNode()        {}
+func (*Switch) stmtNode()     {}
+func (*Break) stmtNode()      {}
+func (*Continue) stmtNode()   {}
+func (*Return) stmtNode()     {}
+func (*Emit) stmtNode()       {}
+func (*Await) stmtNode()      {}
+func (*Halt) stmtNode()       {}
+func (*Present) stmtNode()    {}
+func (*DoPreempt) stmtNode()  {}
+func (*Par) stmtNode()        {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// TypedefDecl is "typedef <type> <name>;" with optional array dims on
+// the name, already folded into Type.
+type TypedefDecl struct {
+	KwPos source.Pos
+	Name  string
+	Type  TypeExpr
+}
+
+// TypeDecl is a bare struct/union/enum definition at file scope.
+type TypeDecl struct {
+	Type TypeExpr
+}
+
+// GlobalVarDecl is a file-scope variable declaration (allowed only for
+// const-style data tables used by extracted C code).
+type GlobalVarDecl struct {
+	Var *VarDecl
+}
+
+// Param is one parameter of a C function.
+type Param struct {
+	Type TypeExpr
+	Name string
+}
+
+// FuncDecl is a plain C function usable from data code.
+type FuncDecl struct {
+	KwPos  source.Pos
+	Ret    TypeExpr
+	Name   string
+	Params []*Param
+	Body   *Block
+}
+
+// SigDir is the direction of a module signal parameter.
+type SigDir int
+
+// Signal parameter directions.
+const (
+	In SigDir = iota
+	Out
+)
+
+// String names the direction with its ECL keyword.
+func (d SigDir) String() string {
+	if d == In {
+		return "input"
+	}
+	return "output"
+}
+
+// SigParam is one signal parameter of a module: direction, optional
+// "pure", a value type for valued signals, and a name.
+type SigParam struct {
+	DirPos source.Pos
+	Dir    SigDir
+	Pure   bool
+	Type   TypeExpr // nil when Pure
+	Name   string
+}
+
+// ModuleDecl is an ECL module: a subroutine-like unit whose parameters
+// are signals and whose body mixes C and reactive statements.
+type ModuleDecl struct {
+	KwPos  source.Pos
+	Name   string
+	Params []*SigParam
+	Body   *Block
+}
+
+// Pos returns the position of the typedef keyword.
+func (d *TypedefDecl) Pos() source.Pos { return d.KwPos }
+
+// Pos returns the position of the underlying type.
+func (d *TypeDecl) Pos() source.Pos { return d.Type.Pos() }
+
+// Pos returns the position of the variable.
+func (d *GlobalVarDecl) Pos() source.Pos { return d.Var.Pos() }
+
+// Pos returns the position of the return type.
+func (d *FuncDecl) Pos() source.Pos { return d.KwPos }
+
+// Pos returns the position of the module keyword.
+func (d *ModuleDecl) Pos() source.Pos { return d.KwPos }
+
+func (*TypedefDecl) declNode()   {}
+func (*TypeDecl) declNode()      {}
+func (*GlobalVarDecl) declNode() {}
+func (*FuncDecl) declNode()      {}
+func (*ModuleDecl) declNode()    {}
+
+// File is one parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration, if any.
+func (f *File) Pos() source.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return source.Pos{}
+}
+
+// Modules returns the module declarations of the file, in order.
+func (f *File) Modules() []*ModuleDecl {
+	var ms []*ModuleDecl
+	for _, d := range f.Decls {
+		if m, ok := d.(*ModuleDecl); ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// Module returns the module with the given name, or nil.
+func (f *File) Module(name string) *ModuleDecl {
+	for _, d := range f.Decls {
+		if m, ok := d.(*ModuleDecl); ok && m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Fprint writes a canonical source rendering of the node to w. The
+// output parses back to an equivalent tree, which the parser tests
+// check by printing twice.
+func Fprint(w io.Writer, n Node) error {
+	p := &printer{w: w}
+	p.node(n)
+	return p.err
+}
+
+// String returns the canonical source rendering of the node.
+func String(n Node) string {
+	var b strings.Builder
+	_ = Fprint(&b, n)
+	return b.String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+	err    error
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.printf("%s", strings.Repeat("    ", p.indent))
+	p.printf(format, args...)
+	p.printf("\n")
+}
+
+func (p *printer) node(n Node) {
+	switch n := n.(type) {
+	case *File:
+		for i, d := range n.Decls {
+			if i > 0 {
+				p.printf("\n")
+			}
+			p.node(d)
+		}
+	case Decl:
+		p.decl(n)
+	case Stmt:
+		p.stmt(n)
+	case Expr:
+		p.printf("%s", exprString(n))
+	case TypeExpr:
+		p.printf("%s", TypeString(n))
+	default:
+		p.printf("/* unknown node %T */", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *TypedefDecl:
+		if at, ok := d.Type.(*ArrayType); ok {
+			p.line("typedef %s %s[%s];", TypeString(at.Elem), d.Name, exprString(at.Len))
+		} else {
+			p.line("typedef %s %s;", TypeString(d.Type), d.Name)
+		}
+	case *TypeDecl:
+		p.line("%s;", TypeString(d.Type))
+	case *GlobalVarDecl:
+		p.line("%s", varDeclString(d.Var))
+	case *FuncDecl:
+		var params []string
+		for _, prm := range d.Params {
+			params = append(params, fmt.Sprintf("%s %s", TypeString(prm.Type), prm.Name))
+		}
+		if len(params) == 0 {
+			params = append(params, "void")
+		}
+		p.line("%s %s(%s)", TypeString(d.Ret), d.Name, strings.Join(params, ", "))
+		p.stmt(d.Body)
+	case *ModuleDecl:
+		var params []string
+		for _, sp := range d.Params {
+			params = append(params, sigParamString(sp))
+		}
+		p.line("module %s(%s)", d.Name, strings.Join(params, ", "))
+		p.stmt(d.Body)
+	default:
+		p.line("/* unknown decl %T */", d)
+	}
+}
+
+func sigParamString(sp *SigParam) string {
+	var b strings.Builder
+	b.WriteString(sp.Dir.String())
+	b.WriteByte(' ')
+	if sp.Pure {
+		b.WriteString("pure ")
+	} else {
+		b.WriteString(TypeString(sp.Type))
+		b.WriteByte(' ')
+	}
+	b.WriteString(sp.Name)
+	return b.String()
+}
+
+func varDeclString(v *VarDecl) string {
+	var b strings.Builder
+	if at, ok := v.Type.(*ArrayType); ok {
+		// Unwrap nested arrays: innermost element first, dims after name.
+		elem, dims := unwrapArray(at)
+		fmt.Fprintf(&b, "%s %s", TypeString(elem), v.Name)
+		for _, d := range dims {
+			fmt.Fprintf(&b, "[%s]", exprString(d))
+		}
+	} else {
+		fmt.Fprintf(&b, "%s %s", TypeString(v.Type), v.Name)
+	}
+	if v.Init != nil {
+		fmt.Fprintf(&b, " = %s", exprString(v.Init))
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+func unwrapArray(t TypeExpr) (TypeExpr, []Expr) {
+	var dims []Expr
+	for {
+		at, ok := t.(*ArrayType)
+		if !ok {
+			return t, dims
+		}
+		dims = append(dims, at.Len)
+		t = at.Elem
+	}
+}
+
+// TypeString renders a syntactic type expression as C source.
+func TypeString(t TypeExpr) string {
+	switch t := t.(type) {
+	case nil:
+		return "/*nil-type*/"
+	case *BuiltinType:
+		return t.Kind.String()
+	case *NamedType:
+		return t.Name
+	case *PointerType:
+		return TypeString(t.Elem) + " *"
+	case *ArrayType:
+		return fmt.Sprintf("%s[%s]", TypeString(t.Elem), exprString(t.Len))
+	case *EnumType:
+		if t.Items == nil {
+			return "enum " + t.Tag
+		}
+		var b strings.Builder
+		b.WriteString("enum ")
+		if t.Tag != "" {
+			b.WriteString(t.Tag + " ")
+		}
+		b.WriteString("{ ")
+		for i, it := range t.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.Name)
+			if it.Value != nil {
+				b.WriteString(" = " + exprString(it.Value))
+			}
+		}
+		b.WriteString(" }")
+		return b.String()
+	case *StructType:
+		kw := "struct"
+		if t.Union {
+			kw = "union"
+		}
+		if t.Fields == nil {
+			return kw + " " + t.Tag
+		}
+		var b strings.Builder
+		b.WriteString(kw)
+		if t.Tag != "" {
+			b.WriteString(" " + t.Tag)
+		}
+		b.WriteString(" { ")
+		for _, f := range t.Fields {
+			elem, dims := f.Type, f.Dims
+			fmt.Fprintf(&b, "%s %s", TypeString(elem), f.Name)
+			for _, d := range dims {
+				fmt.Fprintf(&b, "[%s]", exprString(d))
+			}
+			b.WriteString("; ")
+		}
+		b.WriteString("}")
+		return b.String()
+	}
+	return fmt.Sprintf("/*type %T*/", t)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDecl:
+		p.line("%s", varDeclString(s))
+	case *SignalDecl:
+		if s.Pure {
+			p.line("signal pure %s;", s.Name)
+		} else {
+			p.line("signal %s %s;", TypeString(s.Type), s.Name)
+		}
+	case *ExprStmt:
+		p.line("%s;", exprString(s.X))
+	case *Empty:
+		p.line(";")
+	case *If:
+		p.line("if (%s)", exprString(s.Cond))
+		p.indentedStmt(s.Then)
+		if s.Else != nil {
+			p.line("else")
+			p.indentedStmt(s.Else)
+		}
+	case *While:
+		p.line("while (%s)", exprString(s.Cond))
+		p.indentedStmt(s.Body)
+	case *DoWhile:
+		p.line("do")
+		p.indentedStmt(s.Body)
+		p.line("while (%s);", exprString(s.Cond))
+	case *For:
+		init, post := "", ""
+		if s.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(stmtOneLine(s.Init)), ";")
+		}
+		cond := ""
+		if s.Cond != nil {
+			cond = exprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(stmtOneLine(s.Post)), ";")
+		}
+		p.line("for (%s; %s; %s)", init, cond, post)
+		p.indentedStmt(s.Body)
+	case *Switch:
+		p.line("switch (%s) {", exprString(s.Tag))
+		for _, c := range s.Cases {
+			if c.Values == nil {
+				p.line("default:")
+			} else {
+				for _, v := range c.Values {
+					p.line("case %s:", exprString(v))
+				}
+			}
+			p.indent++
+			for _, st := range c.Body {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.line("}")
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *Return:
+		if s.X != nil {
+			p.line("return %s;", exprString(s.X))
+		} else {
+			p.line("return;")
+		}
+	case *Emit:
+		if s.Value != nil {
+			p.line("emit_v(%s, %s);", s.Signal.Name, exprString(s.Value))
+		} else {
+			p.line("emit(%s);", s.Signal.Name)
+		}
+	case *Await:
+		if s.Sig == nil {
+			p.line("await();")
+		} else {
+			p.line("await(%s);", exprString(s.Sig))
+		}
+	case *Halt:
+		p.line("halt();")
+	case *Present:
+		p.line("present (%s)", exprString(s.Sig))
+		p.indentedStmt(s.Then)
+		if s.Else != nil {
+			p.line("else")
+			p.indentedStmt(s.Else)
+		}
+	case *DoPreempt:
+		p.line("do")
+		p.indentedStmt(s.Body)
+		p.line("%s (%s)%s", s.Kind, exprString(s.Sig), map[bool]string{true: "", false: ";"}[s.Handler != nil])
+		if s.Handler != nil {
+			p.line("handle")
+			p.indentedStmt(s.Handler)
+		}
+	case *Par:
+		p.line("par {")
+		p.indent++
+		for _, b := range s.Branches {
+			p.stmt(b)
+		}
+		p.indent--
+		p.line("}")
+	default:
+		p.line("/* unknown stmt %T */", s)
+	}
+}
+
+// indentedStmt prints blocks flush and other statements indented one level.
+func (p *printer) indentedStmt(s Stmt) {
+	if _, ok := s.(*Block); ok {
+		p.stmt(s)
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func stmtOneLine(s Stmt) string {
+	var b strings.Builder
+	pp := &printer{w: &b}
+	pp.stmt(s)
+	return strings.TrimSpace(strings.ReplaceAll(b.String(), "\n", " "))
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// ExprString renders an expression as C source.
+func ExprString(e Expr) string { return exprString(e) }
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return "/*nil*/"
+	case *Ident:
+		return e.Name
+	case *BasicLit:
+		return e.Value
+	case *Unary:
+		op := e.Op.String()
+		if e.Op == token.TILDE {
+			op = "~"
+		}
+		return op + exprString(e.X)
+	case *Postfix:
+		return exprString(e.X) + e.Op.String()
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), e.Op, exprString(e.Y))
+	case *Assign:
+		return fmt.Sprintf("%s %s %s", exprString(e.LHS), e.Op, exprString(e.RHS))
+	case *Cond:
+		return fmt.Sprintf("(%s ? %s : %s)", exprString(e.CondX), exprString(e.Then), exprString(e.Else))
+	case *Call:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, exprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", e.Fun.Name, strings.Join(args, ", "))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", exprString(e.X), exprString(e.Sub))
+	case *Member:
+		sep := "."
+		if e.Arrow {
+			sep = "->"
+		}
+		return exprString(e.X) + sep + e.Name
+	case *Cast:
+		return fmt.Sprintf("(%s) %s", TypeString(e.Type), exprString(e.X))
+	case *SizeofExpr:
+		if e.Type != nil {
+			return fmt.Sprintf("sizeof(%s)", TypeString(e.Type))
+		}
+		return fmt.Sprintf("sizeof(%s)", exprString(e.X))
+	case *Paren:
+		switch e.X.(type) {
+		case *Binary, *Cond:
+			// These already print parenthesized.
+			return exprString(e.X)
+		}
+		return "(" + exprString(e.X) + ")"
+	}
+	return fmt.Sprintf("/*expr %T*/", e)
+}

@@ -1,0 +1,192 @@
+package cgen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ctypes"
+	"repro/internal/efsm"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func buildEFSM(t *testing.T, src, modName string, pol lower.Policy) *efsm.Machine {
+	t.Helper()
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("test.ecl", src))
+	f := parser.ParseFile(expanded, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("sem errors:\n%s", diags.String())
+	}
+	res, err := lower.Lower(info, modName, pol, &diags)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	m, err := compile.Compile(res)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func TestGenerateCStack(t *testing.T) {
+	m := buildEFSM(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	c := GenerateC(m)
+	for _, want := range []string{
+		"void toplevel_react(void)",
+		"switch (toplevel_state)",
+		"static unsigned char toplevel_packet_present;",
+		"addr_match_present = 1;",
+		"ecl_ld_be",
+		"extracted data code",
+	} {
+		if !strings.Contains(c, want) {
+			t.Errorf("C output missing %q", want)
+		}
+	}
+	// Balanced braces is a cheap syntactic sanity check.
+	if strings.Count(c, "{") != strings.Count(c, "}") {
+		t.Error("unbalanced braces in generated C")
+	}
+}
+
+func TestGenerateCABRO(t *testing.T) {
+	m := buildEFSM(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	c := GenerateC(m)
+	for _, want := range []string{"O_present = 1;", "if (A_present)"} {
+		if !strings.Contains(c, want) {
+			t.Errorf("C output missing %q\n%s", want, c)
+		}
+	}
+}
+
+func TestGenerateGoFormats(t *testing.T) {
+	for _, tc := range []struct{ src, mod string }{
+		{paperex.ABRO, "abro"},
+		{paperex.Stack, "toplevel"},
+		{paperex.Buffer, "bufferctl"},
+		{paperex.RunnerStop, "runner"},
+	} {
+		m := buildEFSM(t, tc.src, tc.mod, lower.MaximalReactive)
+		src, err := GenerateGo(m, "gen"+tc.mod)
+		if err != nil {
+			t.Errorf("%s: %v", tc.mod, err)
+			continue
+		}
+		if !strings.Contains(src, "func (m *Machine) React(") {
+			t.Errorf("%s: missing React", tc.mod)
+		}
+	}
+}
+
+// TestGeneratedGoRuns compiles and runs the generated Go machine for
+// the full protocol stack, feeding a good and a bad packet, and checks
+// addr_match appears exactly once. This exercises the whole synthesis
+// path end to end with a real Go compiler.
+func TestGeneratedGoRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the Go toolchain")
+	}
+	m := buildEFSM(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	src, err := GenerateGo(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "machine.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goodPkt := paperex.MakePacket(true)
+	badPkt := paperex.MakePacket(false)
+	var sb strings.Builder
+	sb.WriteString("package main\n\nimport \"fmt\"\n\nfunc main() {\n\tm := New()\n\tm.React(nil)\n\tmatches := 0\n")
+	feed := func(pkt [paperex.PktSize]byte) {
+		sb.WriteString("\tfor _, b := range []byte{")
+		for i, x := range pkt {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(stringsRepeat(x))
+		}
+		sb.WriteString("} {\n\t\tout := m.React(map[string][]byte{\"in_byte\": {b}})\n\t\tif _, ok := out[\"addr_match\"]; ok { matches++ }\n\t}\n")
+		sb.WriteString("\tfor i := 0; i < 12; i++ {\n\t\tout := m.React(nil)\n\t\tif _, ok := out[\"addr_match\"]; ok { matches++ }\n\t}\n")
+	}
+	feed(goodPkt)
+	feed(badPkt)
+	sb.WriteString("\tfmt.Println(\"matches\", matches)\n}\n")
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module genrun\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s\n--- generated machine:\n%.4000s", err, out, src)
+	}
+	if got := strings.TrimSpace(string(out)); got != "matches 1" {
+		t.Fatalf("generated machine output = %q, want \"matches 1\"", got)
+	}
+}
+
+func stringsRepeat(x byte) string {
+	const digits = "0123456789"
+	if x == 0 {
+		return "0"
+	}
+	var buf [3]byte
+	i := 3
+	for x > 0 {
+		i--
+		buf[i] = digits[x%10]
+		x /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"toplevel.assemble1.cnt_v1": "toplevel_assemble1_cnt_v1",
+		"plain":                     "plain",
+		"a-b c":                     "a_b_c",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCDecl(t *testing.T) {
+	arr := &ctypes.ArrayType{Elem: ctypes.UChar, Len: 64}
+	if got := cDecl("x", arr); got != "unsigned char x[64]" {
+		t.Errorf("cDecl = %q", got)
+	}
+	mat := &ctypes.ArrayType{Elem: &ctypes.ArrayType{Elem: ctypes.Int, Len: 3}, Len: 2}
+	if got := cDecl("mt", mat); got != "int mt[2][3]" {
+		t.Errorf("cDecl nested = %q", got)
+	}
+	st := ctypes.NewStruct(false, "", []ctypes.StructField{
+		{Name: "a", Type: ctypes.Int},
+		{Name: "b", Type: &ctypes.ArrayType{Elem: ctypes.UChar, Len: 2}},
+	})
+	if got := cDecl("s", st); got != "struct { int a; unsigned char b[2]; } s" {
+		t.Errorf("cDecl struct = %q", got)
+	}
+}

@@ -1,0 +1,466 @@
+// Package circuit implements hardware synthesis for the reactive part:
+// it translates a compiled EFSM into a gate-level netlist (one-hot
+// state registers plus AND/OR/NOT next-state and output logic), runs
+// logic optimization (constant folding, structural hashing, dead-gate
+// sweep), and simulates the result for equivalence checking.
+//
+// As the paper states, hardware implementation applies when the
+// data-dominated C part is empty: a machine with data branches or data
+// actions is rejected with an explanatory error.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/efsm"
+	"repro/internal/kernel"
+)
+
+// Op is a net's operation.
+type Op int
+
+// Net operations.
+const (
+	OpInput Op = iota
+	OpReg
+	OpAnd
+	OpOr
+	OpNot
+	OpConst
+)
+
+// Net is one node of the netlist.
+type Net struct {
+	ID   int
+	Op   Op
+	Name string // inputs, registers, and outputs carry names
+	A, B *Net   // operands (A only for OpNot)
+	// Init is the register's reset value.
+	Init bool
+	// Next is the register's next-state input, set after building.
+	Next *Net
+	// Val is the constant's value.
+	Val bool
+}
+
+// Circuit is a synthesized synchronous circuit.
+type Circuit struct {
+	Name    string
+	Inputs  []*Net
+	Regs    []*Net
+	Outputs map[string]*Net
+	nets    []*Net
+	hash    map[string]*Net
+	// noOpt disables constant folding and structural hashing (the
+	// logic-optimization ablation).
+	noOpt bool
+}
+
+// Stats summarizes circuit size.
+type Stats struct {
+	Gates     int // and/or/not
+	Registers int
+	Inputs    int
+	Outputs   int
+}
+
+// CollectStats counts live nets.
+func (c *Circuit) CollectStats() Stats {
+	var st Stats
+	st.Registers = len(c.Regs)
+	st.Inputs = len(c.Inputs)
+	st.Outputs = len(c.Outputs)
+	for _, n := range c.live() {
+		switch n.Op {
+		case OpAnd, OpOr, OpNot:
+			st.Gates++
+		}
+	}
+	return st
+}
+
+func (c *Circuit) newNet(op Op) *Net {
+	n := &Net{ID: len(c.nets), Op: op}
+	c.nets = append(c.nets, n)
+	return n
+}
+
+// Const returns a constant net.
+func (c *Circuit) Const(v bool) *Net {
+	key := fmt.Sprintf("c%v", v)
+	if n, ok := c.hash[key]; ok {
+		return n
+	}
+	n := c.newNet(OpConst)
+	n.Val = v
+	c.hash[key] = n
+	return n
+}
+
+// And builds a AND b with constant folding and structural hashing.
+func (c *Circuit) And(a, b *Net) *Net {
+	if c.noOpt {
+		n := c.newNet(OpAnd)
+		n.A, n.B = a, b
+		return n
+	}
+	if a.Op == OpConst {
+		if !a.Val {
+			return a
+		}
+		return b
+	}
+	if b.Op == OpConst {
+		if !b.Val {
+			return b
+		}
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	key := fmt.Sprintf("a%d,%d", a.ID, b.ID)
+	if n, ok := c.hash[key]; ok {
+		return n
+	}
+	n := c.newNet(OpAnd)
+	n.A, n.B = a, b
+	c.hash[key] = n
+	return n
+}
+
+// Or builds a OR b with constant folding and structural hashing.
+func (c *Circuit) Or(a, b *Net) *Net {
+	if c.noOpt {
+		n := c.newNet(OpOr)
+		n.A, n.B = a, b
+		return n
+	}
+	if a.Op == OpConst {
+		if a.Val {
+			return a
+		}
+		return b
+	}
+	if b.Op == OpConst {
+		if b.Val {
+			return b
+		}
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	key := fmt.Sprintf("o%d,%d", a.ID, b.ID)
+	if n, ok := c.hash[key]; ok {
+		return n
+	}
+	n := c.newNet(OpOr)
+	n.A, n.B = a, b
+	c.hash[key] = n
+	return n
+}
+
+// Not builds NOT a with folding (double negation, constants).
+func (c *Circuit) Not(a *Net) *Net {
+	if c.noOpt {
+		n := c.newNet(OpNot)
+		n.A = a
+		return n
+	}
+	if a.Op == OpConst {
+		return c.Const(!a.Val)
+	}
+	if a.Op == OpNot {
+		return a.A
+	}
+	key := fmt.Sprintf("n%d", a.ID)
+	if n, ok := c.hash[key]; ok {
+		return n
+	}
+	n := c.newNet(OpNot)
+	n.A = a
+	c.hash[key] = n
+	return n
+}
+
+// FromEFSM synthesizes a circuit from a pure-control EFSM: one-hot
+// state registers, next-state logic from the decision trees, output
+// logic from the emit actions. Machines with any data part are
+// rejected (hardware needs the C part empty, per the paper).
+func FromEFSM(m *efsm.Machine) (*Circuit, error) { return FromEFSMOpts(m, true) }
+
+// FromEFSMOpts is FromEFSM with logic optimization switchable, for the
+// optimization ablation (the paper's "battery of logic optimization
+// algorithms").
+func FromEFSMOpts(m *efsm.Machine, optimize bool) (*Circuit, error) {
+	c := &Circuit{
+		Name:    m.Name,
+		Outputs: map[string]*Net{},
+		hash:    map[string]*Net{},
+		noOpt:   !optimize,
+	}
+	inputs := map[*kernel.Signal]*Net{}
+	for _, sig := range m.Inputs {
+		if !sig.Pure {
+			return nil, fmt.Errorf("module %s: valued input %s requires a datapath; hardware synthesis needs a pure-control module (empty C part)", m.Name, sig.Name)
+		}
+		n := c.newNet(OpInput)
+		n.Name = sig.Name
+		c.Inputs = append(c.Inputs, n)
+		inputs[sig] = n
+	}
+
+	stateReg := map[*efsm.State]*Net{}
+	for _, s := range m.States {
+		r := c.newNet(OpReg)
+		r.Name = fmt.Sprintf("s%d", s.ID)
+		r.Init = s == m.Initial
+		c.Regs = append(c.Regs, r)
+		stateReg[s] = r
+	}
+
+	nextState := map[*efsm.State]*Net{}
+	outNet := map[*kernel.Signal]*Net{}
+	for _, s := range m.States {
+		for _, t := range m.Transitions(s) {
+			if len(t.Data) > 0 {
+				return nil, fmt.Errorf("module %s: data guard %q requires a datapath; hardware synthesis needs a pure-control module", m.Name, t.Data[0].Expr)
+			}
+			cond := stateReg[s]
+			// Deterministic literal order for reproducible netlists.
+			var sigNames []string
+			byName := map[string]*kernel.Signal{}
+			for sig := range t.Inputs {
+				sigNames = append(sigNames, sig.Name)
+				byName[sig.Name] = sig
+			}
+			sort.Strings(sigNames)
+			for _, nm := range sigNames {
+				sig := byName[nm]
+				lit := inputs[sig]
+				if lit == nil {
+					return nil, fmt.Errorf("module %s: guard tests non-input %s", m.Name, sig.Name)
+				}
+				if !t.Inputs[sig] {
+					lit = c.Not(lit)
+				}
+				cond = c.And(cond, lit)
+			}
+			for _, a := range t.Actions {
+				switch a.Kind {
+				case efsm.ActEmit:
+					if a.Value != nil {
+						return nil, fmt.Errorf("module %s: valued emit on %s requires a datapath", m.Name, a.Sig.Name)
+					}
+					if a.Sig.Class == kernel.Output {
+						if prev, ok := outNet[a.Sig]; ok {
+							outNet[a.Sig] = c.Or(prev, cond)
+						} else {
+							outNet[a.Sig] = cond
+						}
+					}
+				default:
+					return nil, fmt.Errorf("module %s: data action %s requires a datapath", m.Name, a)
+				}
+			}
+			if !t.Term && t.To != nil {
+				if prev, ok := nextState[t.To]; ok {
+					nextState[t.To] = c.Or(prev, cond)
+				} else {
+					nextState[t.To] = cond
+				}
+			}
+		}
+	}
+	for _, s := range m.States {
+		if n, ok := nextState[s]; ok {
+			stateReg[s].Next = n
+		} else {
+			stateReg[s].Next = c.Const(false)
+		}
+	}
+	for _, sig := range m.Outputs {
+		if n, ok := outNet[sig]; ok {
+			c.Outputs[sig.Name] = n
+		} else {
+			c.Outputs[sig.Name] = c.Const(false)
+		}
+	}
+	return c, nil
+}
+
+// live returns the nets reachable from outputs and register inputs, in
+// a deterministic topological order (operands first).
+func (c *Circuit) live() []*Net {
+	seen := map[*Net]bool{}
+	var order []*Net
+	var visit func(n *Net)
+	visit = func(n *Net) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		// Register next-inputs are visited from the root loop, not
+		// through the register, to keep this a combinational DAG walk.
+		if n.Op != OpReg {
+			visit(n.A)
+			visit(n.B)
+		}
+		order = append(order, n)
+	}
+	var outNames []string
+	for name := range c.Outputs {
+		outNames = append(outNames, name)
+	}
+	sort.Strings(outNames)
+	for _, name := range outNames {
+		visit(c.Outputs[name])
+	}
+	for _, r := range c.Regs {
+		visit(r)
+		visit(r.Next)
+	}
+	return order
+}
+
+// Sweep removes dead gates, returning how many were dropped. The
+// builder already folds constants and hashes structure, so a sweep
+// after construction reports the gates made unreachable by folding.
+func (c *Circuit) Sweep() int {
+	liveSet := map[*Net]bool{}
+	for _, n := range c.live() {
+		liveSet[n] = true
+	}
+	removed := 0
+	var kept []*Net
+	for _, n := range c.nets {
+		if liveSet[n] || n.Op == OpInput {
+			kept = append(kept, n)
+		} else {
+			removed++
+		}
+	}
+	c.nets = kept
+	return removed
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+
+// Simulator evaluates the circuit cycle by cycle.
+type Simulator struct {
+	C    *Circuit
+	regs map[*Net]bool
+}
+
+// NewSimulator returns a simulator with registers at their reset values.
+func NewSimulator(c *Circuit) *Simulator {
+	s := &Simulator{C: c, regs: map[*Net]bool{}}
+	for _, r := range c.Regs {
+		s.regs[r] = r.Init
+	}
+	return s
+}
+
+// Step evaluates one clock cycle with the named inputs present and
+// returns the active outputs.
+func (s *Simulator) Step(present map[string]bool) map[string]bool {
+	vals := map[*Net]bool{}
+	var eval func(n *Net) bool
+	eval = func(n *Net) bool {
+		if v, ok := vals[n]; ok {
+			return v
+		}
+		var v bool
+		switch n.Op {
+		case OpInput:
+			v = present[n.Name]
+		case OpReg:
+			v = s.regs[n]
+		case OpConst:
+			v = n.Val
+		case OpAnd:
+			v = eval(n.A) && eval(n.B)
+		case OpOr:
+			v = eval(n.A) || eval(n.B)
+		case OpNot:
+			v = !eval(n.A)
+		}
+		vals[n] = v
+		return v
+	}
+	out := map[string]bool{}
+	for name, n := range s.C.Outputs {
+		if eval(n) {
+			out[name] = true
+		}
+	}
+	next := map[*Net]bool{}
+	for _, r := range s.C.Regs {
+		next[r] = eval(r.Next)
+	}
+	s.regs = next
+	return out
+}
+
+// ReachableStates explores the register state space breadth-first over
+// all input combinations and returns the number of reachable register
+// valuations (paper: "implicit state exploration techniques can be
+// used for optimization and functional analysis"). The exploration is
+// bounded by limit; it returns (count, true) if complete.
+func (c *Circuit) ReachableStates(limit int) (int, bool) {
+	type stateKey string
+	encode := func(regs map[*Net]bool) stateKey {
+		b := make([]byte, len(c.Regs))
+		for i, r := range c.Regs {
+			if regs[r] {
+				b[i] = '1'
+			} else {
+				b[i] = '0'
+			}
+		}
+		return stateKey(b)
+	}
+	inputCombos := 1 << uint(len(c.Inputs))
+	if len(c.Inputs) > 16 {
+		inputCombos = 1 << 16
+	}
+
+	init := map[*Net]bool{}
+	for _, r := range c.Regs {
+		init[r] = r.Init
+	}
+	seen := map[stateKey]map[*Net]bool{encode(init): init}
+	queue := []map[*Net]bool{init}
+	for len(queue) > 0 {
+		if len(seen) > limit {
+			return len(seen), false
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		for combo := 0; combo < inputCombos; combo++ {
+			present := map[string]bool{}
+			for i, in := range c.Inputs {
+				if combo&(1<<uint(i)) != 0 {
+					present[in.Name] = true
+				}
+			}
+			sim := &Simulator{C: c, regs: cur}
+			sim.Step(present)
+			key := encode(sim.regs)
+			if _, ok := seen[key]; !ok {
+				seen[key] = sim.regs
+				queue = append(queue, sim.regs)
+			}
+		}
+	}
+	return len(seen), true
+}

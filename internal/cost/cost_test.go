@@ -1,0 +1,108 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/efsm"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func buildEFSM(t *testing.T, src, modName string, pol lower.Policy) *efsm.Machine {
+	t.Helper()
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("test.ecl", src))
+	f := parser.ParseFile(expanded, &diags)
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front end: %s", diags.String())
+	}
+	res, err := lower.Lower(info, modName, pol, &diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compile.Compile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSoftwareImagePositive(t *testing.T) {
+	model := Default()
+	m := buildEFSM(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	im := model.SoftwareImage(m)
+	if im.CodeBytes <= 0 || im.DataBytes <= 0 {
+		t.Fatalf("image: %+v", im)
+	}
+	// Data must cover assemble's packet buffer (64B union) plus the
+	// shared packet signal slot (another 64B after inlining).
+	if im.DataBytes < 2*64 {
+		t.Errorf("data bytes %d too small for the packet buffers", im.DataBytes)
+	}
+}
+
+func TestImageGrowsWithStates(t *testing.T) {
+	model := Default()
+	small := buildEFSM(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	big := buildEFSM(t, paperex.Buffer, "bufferctl", lower.MaximalReactive)
+	if model.SoftwareImage(big).CodeBytes <= model.SoftwareImage(small).CodeBytes {
+		t.Error("bigger machine must cost more code")
+	}
+}
+
+func TestPolicyAffectsImage(t *testing.T) {
+	model := Default()
+	max := buildEFSM(t, paperex.Buffer, "levelmon", lower.MaximalReactive)
+	min := buildEFSM(t, paperex.Buffer, "levelmon", lower.MinimalReactive)
+	if model.SoftwareImage(min).CodeBytes >= model.SoftwareImage(max).CodeBytes {
+		t.Errorf("minimal policy should shrink code: max=%d min=%d",
+			model.SoftwareImage(max).CodeBytes, model.SoftwareImage(min).CodeBytes)
+	}
+}
+
+func TestRTOSImageGrowsWithTasks(t *testing.T) {
+	model := Default()
+	one := model.RTOSImage(1, 5, 2)
+	three := model.RTOSImage(3, 8, 3)
+	if three.CodeBytes <= one.CodeBytes || three.DataBytes <= one.DataBytes {
+		t.Errorf("RTOS image must grow with tasks: %+v vs %+v", one, three)
+	}
+}
+
+func TestReactionCycles(t *testing.T) {
+	model := Default()
+	base := model.ReactionCycles(0, 0)
+	deep := model.ReactionCycles(10, 100)
+	if deep <= base {
+		t.Error("cycles must grow with work")
+	}
+	if got := model.ReactionCycles(1, 1); got != model.ReactionEntry+model.NodeCycles+model.UnitCycles {
+		t.Errorf("cycles formula wrong: %d", got)
+	}
+}
+
+func TestChannelsOf(t *testing.T) {
+	m := buildEFSM(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	ch, valued := ChannelsOf(m.Mod)
+	// reset, in_byte, addr_match, packet, crc_ok (+ locals from inlining).
+	if ch < 5 {
+		t.Errorf("channels = %d, want >= 5", ch)
+	}
+	if valued < 2 {
+		t.Errorf("valued = %d, want >= 2 (in_byte, packet, crc_ok)", valued)
+	}
+}
+
+func TestAlign4(t *testing.T) {
+	for in, want := range map[int]int{0: 0, 1: 4, 4: 4, 5: 8, 64: 64} {
+		if got := align4(in); got != want {
+			t.Errorf("align4(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

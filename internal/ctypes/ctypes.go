@@ -1,0 +1,375 @@
+// Package ctypes implements ECL's C type system: scalar types, arrays,
+// structs, unions, enums, and typedefs, with size and alignment
+// computed for a 32-bit big-endian MIPS R3000 target (the processor
+// the paper's Table 1 measurements use).
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type representations.
+type Kind int
+
+// Type kinds.
+const (
+	KindVoid Kind = iota
+	KindBool
+	KindInt   // all integer scalars, parameterized by size/signedness
+	KindFloat // float and double, parameterized by size
+	KindArray
+	KindStruct // also unions
+	KindEnum
+	KindPointer
+)
+
+// Type is the interface implemented by all ECL types.
+type Type interface {
+	Kind() Kind
+	// Size returns the storage size in bytes (MIPS R3000 layout).
+	Size() int
+	// Align returns the required alignment in bytes.
+	Align() int
+	// String returns the C spelling of the type.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Scalars
+
+// VoidType is the C void type.
+type VoidType struct{}
+
+// Kind returns KindVoid.
+func (*VoidType) Kind() Kind { return KindVoid }
+
+// Size returns 0: void has no storage.
+func (*VoidType) Size() int { return 0 }
+
+// Align returns 1.
+func (*VoidType) Align() int { return 1 }
+
+func (*VoidType) String() string { return "void" }
+
+// BoolType is ECL's bool, stored as one byte.
+type BoolType struct{}
+
+// Kind returns KindBool.
+func (*BoolType) Kind() Kind { return KindBool }
+
+// Size returns 1.
+func (*BoolType) Size() int { return 1 }
+
+// Align returns 1.
+func (*BoolType) Align() int { return 1 }
+
+func (*BoolType) String() string { return "bool" }
+
+// IntType is an integer scalar: char, short, int, long and their
+// unsigned variants.
+type IntType struct {
+	Bytes    int // 1, 2, or 4
+	Unsigned bool
+	Name     string // C spelling
+}
+
+// Kind returns KindInt.
+func (*IntType) Kind() Kind { return KindInt }
+
+// Size returns the byte width.
+func (t *IntType) Size() int { return t.Bytes }
+
+// Align equals the size on MIPS.
+func (t *IntType) Align() int { return t.Bytes }
+
+func (t *IntType) String() string { return t.Name }
+
+// FloatType is float (4 bytes) or double (8 bytes).
+type FloatType struct {
+	Bytes int
+	Name  string
+}
+
+// Kind returns KindFloat.
+func (*FloatType) Kind() Kind { return KindFloat }
+
+// Size returns the byte width.
+func (t *FloatType) Size() int { return t.Bytes }
+
+// Align equals the size on MIPS (doubles are 8-aligned).
+func (t *FloatType) Align() int { return t.Bytes }
+
+func (t *FloatType) String() string { return t.Name }
+
+// Predeclared scalar types. They are singletons: pointer equality is
+// type identity for scalars.
+var (
+	Void   = &VoidType{}
+	Bool   = &BoolType{}
+	Char   = &IntType{Bytes: 1, Unsigned: false, Name: "char"}
+	SChar  = &IntType{Bytes: 1, Unsigned: false, Name: "signed char"}
+	UChar  = &IntType{Bytes: 1, Unsigned: true, Name: "unsigned char"}
+	Short  = &IntType{Bytes: 2, Unsigned: false, Name: "short"}
+	UShort = &IntType{Bytes: 2, Unsigned: true, Name: "unsigned short"}
+	Int    = &IntType{Bytes: 4, Unsigned: false, Name: "int"}
+	UInt   = &IntType{Bytes: 4, Unsigned: true, Name: "unsigned int"}
+	Long   = &IntType{Bytes: 4, Unsigned: false, Name: "long"}
+	ULong  = &IntType{Bytes: 4, Unsigned: true, Name: "unsigned long"}
+	Float  = &FloatType{Bytes: 4, Name: "float"}
+	Double = &FloatType{Bytes: 8, Name: "double"}
+)
+
+// ---------------------------------------------------------------------------
+// Aggregates
+
+// ArrayType is a fixed-length array.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+// Kind returns KindArray.
+func (*ArrayType) Kind() Kind { return KindArray }
+
+// Size is element size times length.
+func (t *ArrayType) Size() int { return t.Elem.Size() * t.Len }
+
+// Align is the element alignment.
+func (t *ArrayType) Align() int { return t.Elem.Align() }
+
+func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem, t.Len) }
+
+// StructField is one laid-out member of a struct or union.
+type StructField struct {
+	Name   string
+	Type   Type
+	Offset int // byte offset; 0 for every union member
+}
+
+// StructType is a struct or union with computed layout.
+type StructType struct {
+	Union  bool
+	Tag    string // optional; "" for anonymous
+	Fields []StructField
+
+	size  int
+	align int
+}
+
+// Kind returns KindStruct.
+func (*StructType) Kind() Kind { return KindStruct }
+
+// Size returns the padded total size.
+func (t *StructType) Size() int { return t.size }
+
+// Align returns the maximum member alignment.
+func (t *StructType) Align() int { return t.align }
+
+func (t *StructType) String() string {
+	kw := "struct"
+	if t.Union {
+		kw = "union"
+	}
+	if t.Tag != "" {
+		return kw + " " + t.Tag
+	}
+	var b strings.Builder
+	b.WriteString(kw)
+	b.WriteString(" {")
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString(";")
+		}
+		fmt.Fprintf(&b, " %s %s", f.Type, f.Name)
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// Field returns the field with the given name, or nil.
+func (t *StructType) Field(name string) *StructField {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// NewStruct lays out a struct (or union when union is true) from its
+// fields, computing offsets, padding, and total size per the MIPS ABI:
+// each member aligned to its natural alignment, total size rounded up
+// to the struct alignment.
+func NewStruct(union bool, tag string, fields []StructField) *StructType {
+	st := &StructType{Union: union, Tag: tag, align: 1}
+	off := 0
+	for _, f := range fields {
+		a := f.Type.Align()
+		if a > st.align {
+			st.align = a
+		}
+		if union {
+			f.Offset = 0
+			if s := f.Type.Size(); s > off {
+				off = s
+			}
+		} else {
+			off = alignUp(off, a)
+			f.Offset = off
+			off += f.Type.Size()
+		}
+		st.Fields = append(st.Fields, f)
+	}
+	st.size = alignUp(off, st.align)
+	return st
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// EnumType is a C enum; it behaves as int.
+type EnumType struct {
+	Tag   string
+	Items map[string]int64
+}
+
+// Kind returns KindEnum.
+func (*EnumType) Kind() Kind { return KindEnum }
+
+// Size returns 4: enums are ints.
+func (*EnumType) Size() int { return 4 }
+
+// Align returns 4.
+func (*EnumType) Align() int { return 4 }
+
+func (t *EnumType) String() string {
+	if t.Tag != "" {
+		return "enum " + t.Tag
+	}
+	return "enum {...}"
+}
+
+// PointerType is a pointer; permitted only in extracted data code.
+type PointerType struct {
+	Elem Type
+}
+
+// Kind returns KindPointer.
+func (*PointerType) Kind() Kind { return KindPointer }
+
+// Size returns 4 (32-bit target).
+func (*PointerType) Size() int { return 4 }
+
+// Align returns 4.
+func (*PointerType) Align() int { return 4 }
+
+func (t *PointerType) String() string { return t.Elem.String() + " *" }
+
+// ---------------------------------------------------------------------------
+// Predicates and conversions
+
+// IsInteger reports whether t is an integer scalar (including bool,
+// char, and enum, which C treats as integers in arithmetic).
+func IsInteger(t Type) bool {
+	switch t.Kind() {
+	case KindInt, KindBool, KindEnum:
+		return true
+	}
+	return false
+}
+
+// IsArithmetic reports whether t supports arithmetic operators.
+func IsArithmetic(t Type) bool { return IsInteger(t) || t.Kind() == KindFloat }
+
+// IsScalar reports whether t is a scalar value type (arithmetic or
+// pointer): the types that can be tested in conditions.
+func IsScalar(t Type) bool { return IsArithmetic(t) || t.Kind() == KindPointer }
+
+// IsUnsigned reports whether integer arithmetic on t is unsigned.
+func IsUnsigned(t Type) bool {
+	if it, ok := t.(*IntType); ok {
+		return it.Unsigned
+	}
+	return false
+}
+
+// Promote applies the C integer promotions: bool, char, short, and
+// enum become int.
+func Promote(t Type) Type {
+	switch t.Kind() {
+	case KindBool, KindEnum:
+		return Int
+	case KindInt:
+		if t.Size() < 4 {
+			return Int
+		}
+	}
+	return t
+}
+
+// UsualArithmetic returns the common type of a binary arithmetic
+// operation per the usual arithmetic conversions (32-bit C subset:
+// double > float > unsigned int > int).
+func UsualArithmetic(a, b Type) Type {
+	if a == Double || b == Double {
+		return Double
+	}
+	if a == Float || b == Float {
+		return Float
+	}
+	pa, pb := Promote(a), Promote(b)
+	if IsUnsigned(pa) || IsUnsigned(pb) {
+		return UInt
+	}
+	return Int
+}
+
+// Identical reports structural type identity. Scalars are singletons;
+// aggregates compare recursively.
+func Identical(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind() != b.Kind() {
+		return false
+	}
+	switch at := a.(type) {
+	case *ArrayType:
+		bt := b.(*ArrayType)
+		return at.Len == bt.Len && Identical(at.Elem, bt.Elem)
+	case *StructType:
+		bt := b.(*StructType)
+		if at.Union != bt.Union || len(at.Fields) != len(bt.Fields) {
+			return false
+		}
+		for i := range at.Fields {
+			if at.Fields[i].Name != bt.Fields[i].Name || !Identical(at.Fields[i].Type, bt.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case *PointerType:
+		return Identical(at.Elem, b.(*PointerType).Elem)
+	case *IntType:
+		bt := b.(*IntType)
+		return at.Bytes == bt.Bytes && at.Unsigned == bt.Unsigned
+	case *FloatType:
+		return at.Bytes == b.(*FloatType).Bytes
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type from may be assigned to
+// a location of type to: identical types, or any two arithmetic types
+// (C converts implicitly).
+func AssignableTo(from, to Type) bool {
+	if Identical(from, to) {
+		return true
+	}
+	return IsArithmetic(from) && IsArithmetic(to)
+}

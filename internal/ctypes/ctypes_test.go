@@ -1,0 +1,160 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := map[Type]int{
+		Void: 0, Bool: 1, Char: 1, UChar: 1, Short: 2, UShort: 2,
+		Int: 4, UInt: 4, Long: 4, ULong: 4, Float: 4, Double: 8,
+	}
+	for ty, want := range cases {
+		if ty.Size() != want {
+			t.Errorf("sizeof(%s) = %d, want %d", ty, ty.Size(), want)
+		}
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	st := NewStruct(false, "", []StructField{
+		{Name: "c", Type: Char},
+		{Name: "i", Type: Int},
+		{Name: "s", Type: Short},
+	})
+	if st.Field("c").Offset != 0 || st.Field("i").Offset != 4 || st.Field("s").Offset != 8 {
+		t.Errorf("offsets: c=%d i=%d s=%d", st.Field("c").Offset, st.Field("i").Offset, st.Field("s").Offset)
+	}
+	if st.Size() != 12 {
+		t.Errorf("size = %d, want 12", st.Size())
+	}
+	if st.Align() != 4 {
+		t.Errorf("align = %d, want 4", st.Align())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := NewStruct(true, "", []StructField{
+		{Name: "b", Type: &ArrayType{Elem: UChar, Len: 6}},
+		{Name: "i", Type: Int},
+	})
+	if u.Field("b").Offset != 0 || u.Field("i").Offset != 0 {
+		t.Error("union members must share offset 0")
+	}
+	if u.Size() != 8 { // max(6,4) rounded to align 4
+		t.Errorf("size = %d, want 8", u.Size())
+	}
+}
+
+func TestDoubleAlignment(t *testing.T) {
+	st := NewStruct(false, "", []StructField{
+		{Name: "c", Type: Char},
+		{Name: "d", Type: Double},
+	})
+	if st.Field("d").Offset != 8 {
+		t.Errorf("double offset = %d, want 8", st.Field("d").Offset)
+	}
+	if st.Size() != 16 {
+		t.Errorf("size = %d, want 16", st.Size())
+	}
+}
+
+func TestArrayType(t *testing.T) {
+	at := &ArrayType{Elem: Int, Len: 10}
+	if at.Size() != 40 || at.Align() != 4 {
+		t.Errorf("array: size=%d align=%d", at.Size(), at.Align())
+	}
+}
+
+func TestPromote(t *testing.T) {
+	for _, ty := range []Type{Bool, Char, UChar, Short, UShort} {
+		if Promote(ty) != Int {
+			t.Errorf("Promote(%s) = %s, want int", ty, Promote(ty))
+		}
+	}
+	if Promote(UInt) != UInt || Promote(Double) != Double {
+		t.Error("promotion should not change uint/double")
+	}
+}
+
+func TestUsualArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b, want Type
+	}{
+		{Char, Char, Int},
+		{Int, UInt, UInt},
+		{UChar, Int, Int},
+		{Int, Double, Double},
+		{Float, Int, Float},
+		{UShort, Short, Int},
+	}
+	for _, c := range cases {
+		if got := UsualArithmetic(c.a, c.b); got != c.want {
+			t.Errorf("UsualArithmetic(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	a1 := &ArrayType{Elem: UChar, Len: 4}
+	a2 := &ArrayType{Elem: UChar, Len: 4}
+	a3 := &ArrayType{Elem: UChar, Len: 5}
+	if !Identical(a1, a2) || Identical(a1, a3) {
+		t.Error("array identity wrong")
+	}
+	s1 := NewStruct(false, "", []StructField{{Name: "x", Type: Int}})
+	s2 := NewStruct(false, "", []StructField{{Name: "x", Type: Int}})
+	s3 := NewStruct(false, "", []StructField{{Name: "y", Type: Int}})
+	if !Identical(s1, s2) || Identical(s1, s3) {
+		t.Error("struct identity wrong")
+	}
+	if Identical(Int, UInt) || !Identical(Int, Long) {
+		// int and long are both 4-byte signed on this target.
+		t.Error("scalar identity wrong")
+	}
+}
+
+func TestAssignableTo(t *testing.T) {
+	if !AssignableTo(Char, Int) || !AssignableTo(Double, Int) {
+		t.Error("arithmetic conversions must be assignable")
+	}
+	arr := &ArrayType{Elem: UChar, Len: 2}
+	if AssignableTo(arr, Int) {
+		t.Error("array to int must not be assignable (cast required)")
+	}
+}
+
+// Property: struct size is always a multiple of its alignment and
+// covers every field.
+func TestPropertyLayoutInvariants(t *testing.T) {
+	types := []Type{Bool, Char, UChar, Short, UShort, Int, UInt, Double}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 12 {
+			return true
+		}
+		var fields []StructField
+		for i, p := range picks {
+			fields = append(fields, StructField{
+				Name: string(rune('a' + i)),
+				Type: types[int(p)%len(types)],
+			})
+		}
+		st := NewStruct(false, "", fields)
+		if st.Size()%st.Align() != 0 {
+			return false
+		}
+		for _, fl := range st.Fields {
+			if fl.Offset%fl.Type.Align() != 0 {
+				return false
+			}
+			if fl.Offset+fl.Type.Size() > st.Size() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

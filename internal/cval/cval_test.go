@@ -1,0 +1,279 @@
+package cval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctypes"
+)
+
+func TestIntRoundTrip(t *testing.T) {
+	cases := []struct {
+		ty   ctypes.Type
+		in   int64
+		want int64
+	}{
+		{ctypes.Int, 42, 42},
+		{ctypes.Int, -1, -1},
+		{ctypes.Int, 1 << 31, -(1 << 31)}, // wraps
+		{ctypes.UInt, -1, 0xFFFFFFFF},
+		{ctypes.Char, 200, -56}, // char is signed, wraps
+		{ctypes.UChar, 200, 200},
+		{ctypes.UChar, 256, 0},
+		{ctypes.Short, 0x8000, -0x8000},
+		{ctypes.UShort, 0xFFFF, 0xFFFF},
+	}
+	for _, c := range cases {
+		v := FromInt(c.ty, c.in)
+		if got := v.Int(); got != c.want {
+			t.Errorf("FromInt(%s, %d).Int() = %d, want %d", c.ty, c.in, got, c.want)
+		}
+	}
+}
+
+func TestBigEndianLayout(t *testing.T) {
+	v := FromInt(ctypes.Int, 0x01020304)
+	want := []byte{1, 2, 3, 4}
+	for i := range want {
+		if v.B[i] != want[i] {
+			t.Fatalf("bytes = %v, want %v (big-endian)", v.B, want)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	d := FromFloat(ctypes.Double, 3.5)
+	if d.Float() != 3.5 {
+		t.Errorf("double = %g", d.Float())
+	}
+	f := FromFloat(ctypes.Float, 1.25)
+	if f.Float() != 1.25 {
+		t.Errorf("float = %g", f.Float())
+	}
+	if len(f.B) != 4 || len(d.B) != 8 {
+		t.Errorf("sizes: float %d, double %d", len(f.B), len(d.B))
+	}
+}
+
+func TestBool(t *testing.T) {
+	v := FromBool(true)
+	if !v.Bool() || v.Int() != 1 {
+		t.Error("true bool wrong")
+	}
+	v = FromBool(false)
+	if v.Bool() {
+		t.Error("false bool wrong")
+	}
+}
+
+func packetTypes() (*ctypes.StructType, *ctypes.StructType, *ctypes.StructType) {
+	byteT := ctypes.UChar
+	raw := ctypes.NewStruct(false, "", []ctypes.StructField{
+		{Name: "packet", Type: &ctypes.ArrayType{Elem: byteT, Len: 64}},
+	})
+	cooked := ctypes.NewStruct(false, "", []ctypes.StructField{
+		{Name: "header", Type: &ctypes.ArrayType{Elem: byteT, Len: 6}},
+		{Name: "data", Type: &ctypes.ArrayType{Elem: byteT, Len: 56}},
+		{Name: "crc", Type: &ctypes.ArrayType{Elem: byteT, Len: 2}},
+	})
+	pkt := ctypes.NewStruct(true, "", []ctypes.StructField{
+		{Name: "raw", Type: raw},
+		{Name: "cooked", Type: cooked},
+	})
+	return pkt, raw, cooked
+}
+
+// TestUnionAliasing is the paper-critical property: bytes written via
+// the raw view must be readable via the cooked view.
+func TestUnionAliasing(t *testing.T) {
+	pkt, _, _ := packetTypes()
+	v := New(pkt)
+	raw, err := v.Field("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := raw.Field("packet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		el, err := arr.Index(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el.SetInt(int64(i + 1))
+	}
+	cooked, _ := v.Field("cooked")
+	hdr, _ := cooked.Field("header")
+	h0, _ := hdr.Index(0)
+	if h0.Int() != 1 {
+		t.Errorf("header[0] = %d, want 1", h0.Int())
+	}
+	crc, _ := cooked.Field("crc")
+	c0, _ := crc.Index(0)
+	c1, _ := crc.Index(1)
+	if c0.Int() != 63 || c1.Int() != 64 {
+		t.Errorf("crc = [%d %d], want [63 64]", c0.Int(), c1.Int())
+	}
+}
+
+func TestArrayToIntReinterpret(t *testing.T) {
+	// Figure 2 idiom: (int) crc_bytes reads big-endian leading bytes.
+	arr := New(&ctypes.ArrayType{Elem: ctypes.UChar, Len: 2})
+	e0, _ := arr.Index(0)
+	e1, _ := arr.Index(1)
+	e0.SetInt(0x12)
+	e1.SetInt(0x34)
+	out, err := Convert(arr, ctypes.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 0x1234 {
+		t.Errorf("got %#x, want 0x1234", out.Int())
+	}
+}
+
+func TestAssignConversion(t *testing.T) {
+	dst := New(ctypes.UChar)
+	if err := dst.Assign(FromInt(ctypes.Int, 0x1FF)); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Int() != 0xFF {
+		t.Errorf("got %d, want 255 (truncated)", dst.Int())
+	}
+
+	b := New(ctypes.Bool)
+	if err := b.Assign(FromInt(ctypes.Int, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Convert(FromInt(ctypes.Int, 7), ctypes.Bool); got.Int() != 1 {
+		t.Errorf("bool conversion of 7 = %d, want 1", got.Int())
+	}
+}
+
+func TestAssignStructCopy(t *testing.T) {
+	pkt, _, _ := packetTypes()
+	a := New(pkt)
+	bv := New(pkt)
+	raw, _ := a.Field("raw")
+	arr, _ := raw.Field("packet")
+	el, _ := arr.Index(5)
+	el.SetInt(99)
+	if err := bv.Assign(a); err != nil {
+		t.Fatal(err)
+	}
+	braw, _ := bv.Field("raw")
+	barr, _ := braw.Field("packet")
+	bel, _ := barr.Index(5)
+	if bel.Int() != 99 {
+		t.Error("struct copy lost data")
+	}
+	// Deep copy: mutating the source must not affect the copy.
+	el.SetInt(1)
+	if bel.Int() != 99 {
+		t.Error("struct copy aliases source")
+	}
+}
+
+func TestAssignMismatch(t *testing.T) {
+	pkt, raw, _ := packetTypes()
+	a := New(pkt)
+	b := New(raw)
+	if err := a.Assign(b); err == nil {
+		t.Error("expected error assigning struct to union of different type")
+	}
+}
+
+func TestIndexBounds(t *testing.T) {
+	arr := New(&ctypes.ArrayType{Elem: ctypes.Int, Len: 3})
+	if _, err := arr.Index(3); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := arr.Index(-1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestFieldErrors(t *testing.T) {
+	v := New(ctypes.Int)
+	if _, err := v.Field("x"); err == nil {
+		t.Error("field on scalar must fail")
+	}
+	pkt, _, _ := packetTypes()
+	p := New(pkt)
+	if _, err := p.Field("nosuch"); err == nil {
+		t.Error("unknown field must fail")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromInt(ctypes.Int, 5)
+	b := FromInt(ctypes.Int, 5)
+	c := FromInt(ctypes.Int, 6)
+	d := FromInt(ctypes.UInt, 5)
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := FromInt(ctypes.Int, -3).String(); s != "-3" {
+		t.Errorf("got %q", s)
+	}
+	if s := FromBool(true).String(); s != "true" {
+		t.Errorf("got %q", s)
+	}
+	arr := New(&ctypes.ArrayType{Elem: ctypes.UChar, Len: 2})
+	if s := arr.String(); s != "0x0000" {
+		t.Errorf("got %q", s)
+	}
+}
+
+// Property: for any int32, storing and reading through Int preserves
+// the value; unsigned read is the two's-complement reinterpretation.
+func TestPropertyIntStore(t *testing.T) {
+	f := func(x int32) bool {
+		v := FromInt(ctypes.Int, int64(x))
+		if v.Int() != int64(x) {
+			return false
+		}
+		u := FromInt(ctypes.UInt, int64(x))
+		return u.Uint() == uint64(uint32(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone is deep — mutating the clone never affects the source.
+func TestPropertyCloneIsDeep(t *testing.T) {
+	f := func(x int32, mut byte) bool {
+		v := FromInt(ctypes.Int, int64(x))
+		c := v.Clone()
+		c.B[0] = mut
+		return v.Int() == int64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: array->int reinterpretation matches a manual big-endian read.
+func TestPropertyArrayReinterpret(t *testing.T) {
+	f := func(b0, b1, b2, b3 byte) bool {
+		arr := New(&ctypes.ArrayType{Elem: ctypes.UChar, Len: 4})
+		for i, x := range []byte{b0, b1, b2, b3} {
+			el, _ := arr.Index(i)
+			el.SetInt(int64(x))
+		}
+		out, err := Convert(arr, ctypes.UInt)
+		if err != nil {
+			return false
+		}
+		want := uint64(b0)<<24 | uint64(b1)<<16 | uint64(b2)<<8 | uint64(b3)
+		return out.Uint() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

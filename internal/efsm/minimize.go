@@ -1,0 +1,170 @@
+package efsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize merges bisimulation-equivalent states by partition
+// refinement: two states are equivalent when their decision trees are
+// isomorphic with successor states compared by equivalence class. It
+// returns a new machine (the input is left untouched) and the number
+// of merged states. This is the paper's "logic synthesis and
+// optimization can be applied to reduce size" at the automaton level.
+func Minimize(m *Machine) (*Machine, int) {
+	if len(m.States) == 0 {
+		return m, 0
+	}
+	// class[i] is state i's current equivalence class.
+	class := make(map[*State]int, len(m.States))
+	for _, s := range m.States {
+		class[s] = 0
+	}
+	for {
+		// Re-sign every state under the current classes.
+		sigs := make(map[*State]string, len(m.States))
+		for _, s := range m.States {
+			sigs[s] = treeSignature(s.Root, class)
+		}
+		// Assign new class ids by signature.
+		bySig := make(map[string]int)
+		var order []string
+		for _, s := range m.States {
+			if _, ok := bySig[sigs[s]]; !ok {
+				bySig[sigs[s]] = 0
+				order = append(order, sigs[s])
+			}
+		}
+		sort.Strings(order)
+		for i, sg := range order {
+			bySig[sg] = i
+		}
+		changed := false
+		for _, s := range m.States {
+			nc := bySig[sigs[s]]
+			if nc != class[s] {
+				class[s] = nc
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Build the quotient machine: one representative per class.
+	repByClass := make(map[int]*State)
+	for _, s := range m.States {
+		if _, ok := repByClass[class[s]]; !ok {
+			repByClass[class[s]] = s
+		}
+	}
+	if len(repByClass) == len(m.States) {
+		return m, 0
+	}
+	out := &Machine{
+		Name:    m.Name,
+		Mod:     m.Mod,
+		Info:    m.Info,
+		Inputs:  m.Inputs,
+		Outputs: m.Outputs,
+	}
+	newState := make(map[int]*State, len(repByClass))
+	classes := make([]int, 0, len(repByClass))
+	for c := range repByClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for i, c := range classes {
+		ns := &State{ID: i, Key: repByClass[c].Key}
+		newState[c] = ns
+		out.States = append(out.States, ns)
+	}
+	for _, c := range classes {
+		newState[c].Root = rebuildTree(repByClass[c].Root, class, newState)
+	}
+	out.Initial = newState[class[m.Initial]]
+	return out, len(m.States) - len(out.States)
+}
+
+func rebuildTree(n Node, class map[*State]int, newState map[int]*State) Node {
+	switch n := n.(type) {
+	case nil:
+		return nil
+	case *ActNode:
+		return &ActNode{Act: n.Act, Next: rebuildTree(n.Next, class, newState)}
+	case *InputBranch:
+		return &InputBranch{
+			Sig:  n.Sig,
+			Then: rebuildTree(n.Then, class, newState),
+			Else: rebuildTree(n.Else, class, newState),
+		}
+	case *DataBranch:
+		return &DataBranch{
+			Expr: n.Expr,
+			Then: rebuildTree(n.Then, class, newState),
+			Else: rebuildTree(n.Else, class, newState),
+		}
+	case *Leaf:
+		if n.To == nil {
+			return &Leaf{Terminal: n.Terminal}
+		}
+		return &Leaf{To: newState[class[n.To]], Terminal: n.Terminal}
+	}
+	return nil
+}
+
+// treeSignature canonically serializes a tree with successor states
+// replaced by their current class.
+func treeSignature(n Node, class map[*State]int) string {
+	var b strings.Builder
+	var walk func(n Node)
+	walk = func(n Node) {
+		switch n := n.(type) {
+		case nil:
+			b.WriteString("_")
+		case *ActNode:
+			fmt.Fprintf(&b, "A(%s;", actionKey(n.Act))
+			walk(n.Next)
+			b.WriteString(")")
+		case *InputBranch:
+			fmt.Fprintf(&b, "I(%s?", n.Sig.Name)
+			walk(n.Then)
+			b.WriteString(":")
+			walk(n.Else)
+			b.WriteString(")")
+		case *DataBranch:
+			fmt.Fprintf(&b, "D(%s@%s?", n.Expr.String(), n.Expr.B.Label)
+			walk(n.Then)
+			b.WriteString(":")
+			walk(n.Else)
+			b.WriteString(")")
+		case *Leaf:
+			if n.To == nil {
+				fmt.Fprintf(&b, "L(end,%v)", n.Terminal)
+			} else {
+				fmt.Fprintf(&b, "L(%d,%v)", class[n.To], n.Terminal)
+			}
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+func actionKey(a Action) string {
+	switch a.Kind {
+	case ActEmit:
+		if a.Value != nil {
+			return fmt.Sprintf("emit:%s:%s@%s", a.Sig.Name, a.Value.String(), a.Value.B.Label)
+		}
+		return "emit:" + a.Sig.Name
+	case ActAssign:
+		return fmt.Sprintf("asg:%s:%s@%s", a.LHS.String(), a.RHS.String(), a.LHS.B.Label)
+	case ActEval:
+		return fmt.Sprintf("ev:%s@%s", a.X.String(), a.X.B.Label)
+	case ActCall:
+		return "call:" + a.F.Name
+	}
+	return "?"
+}

@@ -1,0 +1,193 @@
+package efsm
+
+import (
+	"fmt"
+
+	"repro/internal/cval"
+	"repro/internal/dataexec"
+	"repro/internal/kernel"
+)
+
+// Runtime executes a compiled EFSM: the software implementation of the
+// reactive part, behaviourally equivalent to the reference interpreter
+// (tests co-simulate the two).
+type Runtime struct {
+	M *Machine
+
+	cur     *State
+	done    bool
+	vars    map[*kernel.Var]cval.Value
+	sigVals map[*kernel.Signal]cval.Value
+	present map[*kernel.Signal]bool
+	units   int
+
+	// Trace, when non-nil, receives one entry per executed action.
+	Trace func(Action)
+}
+
+// NewRuntime builds a runtime with zeroed variables.
+func NewRuntime(m *Machine) *Runtime {
+	rt := &Runtime{
+		M:       m,
+		cur:     m.Initial,
+		vars:    make(map[*kernel.Var]cval.Value),
+		sigVals: make(map[*kernel.Signal]cval.Value),
+	}
+	for _, v := range m.Mod.Vars {
+		rt.vars[v] = cval.New(v.Type)
+	}
+	for _, s := range m.Mod.Signals() {
+		if !s.Pure && s.Type != nil {
+			rt.sigVals[s] = cval.New(s.Type)
+		}
+	}
+	return rt
+}
+
+// VarValue implements dataexec.Env.
+func (rt *Runtime) VarValue(v *kernel.Var) (cval.Value, error) {
+	val, ok := rt.vars[v]
+	if !ok {
+		return cval.Value{}, fmt.Errorf("unknown variable %s", v.Name)
+	}
+	return val, nil
+}
+
+// SignalValue implements dataexec.Env.
+func (rt *Runtime) SignalValue(s *kernel.Signal) (cval.Value, error) {
+	val, ok := rt.sigVals[s]
+	if !ok {
+		return cval.Value{}, fmt.Errorf("signal %s carries no value", s.Name)
+	}
+	return val, nil
+}
+
+// Charge implements dataexec.Env.
+func (rt *Runtime) Charge(units int) { rt.units += units }
+
+// StepResult reports one reaction of the runtime.
+type StepResult struct {
+	// Emitted lists all emitted signals in order (locals included).
+	Emitted []*kernel.Signal
+	// Outputs holds emitted output-class signals and their values.
+	Outputs map[*kernel.Signal]cval.Value
+	// Terminated reports whether the machine finished.
+	Terminated bool
+	// Units is the data work charged, and Depth the number of decision
+	// tree nodes visited (the cost model prices both).
+	Units int
+	Depth int
+}
+
+// Terminated reports whether the machine has finished.
+func (rt *Runtime) Terminated() bool { return rt.done }
+
+// CurrentState returns the current control state.
+func (rt *Runtime) CurrentState() *State { return rt.cur }
+
+// SetState forces the control state (testing hook).
+func (rt *Runtime) SetState(s *State) { rt.cur = s }
+
+// Step runs one reaction with the given present inputs (values for
+// valued inputs).
+func (rt *Runtime) Step(inputs map[*kernel.Signal]cval.Value) (*StepResult, error) {
+	res := &StepResult{Outputs: make(map[*kernel.Signal]cval.Value)}
+	if rt.done || rt.cur == nil {
+		res.Terminated = true
+		return res, nil
+	}
+	rt.units = 0
+	rt.present = make(map[*kernel.Signal]bool, len(inputs))
+	for sig, val := range inputs {
+		rt.present[sig] = true
+		if val.IsValid() {
+			slot, ok := rt.sigVals[sig]
+			if !ok {
+				return nil, fmt.Errorf("input %s carries no value slot", sig.Name)
+			}
+			if err := slot.Assign(val); err != nil {
+				return nil, fmt.Errorf("input %s: %w", sig.Name, err)
+			}
+		}
+	}
+
+	ev := dataexec.New(rt.M.Info, rt)
+	n := rt.cur.Root
+	for {
+		res.Depth++
+		switch node := n.(type) {
+		case nil:
+			return nil, fmt.Errorf("state s%d: nil decision-tree node", rt.cur.ID)
+		case *Leaf:
+			rt.cur = node.To
+			if node.Terminal {
+				rt.done = true
+				res.Terminated = true
+			}
+			res.Units = rt.units
+			return res, nil
+		case *InputBranch:
+			rt.units += 2 // test + branch
+			if rt.present[node.Sig] {
+				n = node.Then
+			} else {
+				n = node.Else
+			}
+		case *DataBranch:
+			v, err := ev.EvalBool(node.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("state s%d: guard %s: %w", rt.cur.ID, node.Expr, err)
+			}
+			rt.units += 2
+			if v {
+				n = node.Then
+			} else {
+				n = node.Else
+			}
+		case *ActNode:
+			if err := rt.execAction(ev, node.Act, res); err != nil {
+				return nil, fmt.Errorf("state s%d: action %s: %w", rt.cur.ID, node.Act, err)
+			}
+			n = node.Next
+		}
+	}
+}
+
+func (rt *Runtime) execAction(ev *dataexec.Evaluator, a Action, res *StepResult) error {
+	if rt.Trace != nil {
+		rt.Trace(a)
+	}
+	switch a.Kind {
+	case ActEmit:
+		rt.units += 3
+		if a.Value != nil {
+			val, err := ev.Eval(*a.Value)
+			if err != nil {
+				return err
+			}
+			slot, ok := rt.sigVals[a.Sig]
+			if !ok {
+				return fmt.Errorf("emit %s: no value slot", a.Sig.Name)
+			}
+			if err := slot.Assign(val); err != nil {
+				return err
+			}
+		}
+		rt.present[a.Sig] = true
+		res.Emitted = append(res.Emitted, a.Sig)
+		if a.Sig.Class == kernel.Output {
+			if v, ok := rt.sigVals[a.Sig]; ok {
+				res.Outputs[a.Sig] = v.Clone()
+			} else {
+				res.Outputs[a.Sig] = cval.Value{}
+			}
+		}
+	case ActAssign:
+		return ev.ExecAssign(a.LHS, a.RHS)
+	case ActEval:
+		return ev.ExecEval(a.X)
+	case ActCall:
+		return ev.ExecDataFunc(a.F)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func abroCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("t.ecl", paperex.ABRO))
+	f := parser.ParseFile(expanded, &diags)
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front end: %s", diags.String())
+	}
+	res, err := lower.Lower(info, "abro", lower.MaximalReactive, &diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compile.Compile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := circuit.FromEFSM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVerilogOutput(t *testing.T) {
+	v := VerilogString(abroCircuit(t))
+	for _, want := range []string{
+		"module abro(clk, rst, A, B, R, O);",
+		"input clk, rst;",
+		"output O;",
+		"always @(posedge clk or posedge rst)",
+		"assign O = ",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q\n%s", want, v)
+		}
+	}
+	// Every wire used must be declared.
+	for _, line := range strings.Split(v, "\n") {
+		if strings.Contains(line, "assign n") {
+			name := strings.Fields(strings.TrimSpace(line))[1]
+			if !strings.Contains(v, "wire "+name+";") {
+				t.Errorf("wire %s used but not declared", name)
+			}
+		}
+	}
+}
+
+func TestVHDLOutput(t *testing.T) {
+	v := VHDLString(abroCircuit(t))
+	for _, want := range []string{
+		"entity abro is",
+		"clk : in std_logic",
+		"O : out std_logic",
+		"architecture rtl of abro is",
+		"rising_edge(clk)",
+		"end rtl;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("VHDL missing %q", want)
+		}
+	}
+}
+
+func TestSanitizeHDL(t *testing.T) {
+	if got := sanitize("toplevel.crc_ok"); got != "toplevel_crc_ok" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

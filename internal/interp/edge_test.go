@@ -1,0 +1,210 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+)
+
+// Additional semantic edge cases: nested preemption, exits crossing
+// parallels, loop re-entry of local signal scopes, and priorities
+// between simultaneous aborts.
+
+func TestNestedAbortOuterWins(t *testing.T) {
+	src := `module m(input pure inner, input pure outer, input pure tick,
+                     output pure beat, output pure ih, output pure oh) {
+        do {
+            do {
+                while (1) { await(tick); emit(beat); }
+            } abort (inner)
+            handle { emit(ih); halt(); }
+        } abort (outer)
+        handle { emit(oh); halt(); }
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	// Both triggers at once: the outer abort preempts the inner one,
+	// so only the outer handler runs.
+	r := react(t, m, "inner", "outer")
+	if hasOutput(r, "ih") {
+		t.Error("inner handler ran although the outer abort kills it")
+	}
+	if !hasOutput(r, "oh") {
+		t.Error("outer handler missing")
+	}
+}
+
+func TestBreakOutOfParViaEnclosingLoop(t *testing.T) {
+	// A break inside one par branch must not exist (sem catches break
+	// crossing par); this checks the legal form: abort around par.
+	src := `module m(input pure stop, input pure tick, output pure l, output pure r,
+                     output pure after) {
+        do {
+            par {
+                while (1) { await (tick); emit(l); }
+                while (1) { await (tick); emit(r); }
+            }
+        } abort (stop);
+        emit (after);
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	rr := react(t, m, "tick")
+	if !hasOutput(rr, "l") || !hasOutput(rr, "r") {
+		t.Fatal("both branches should beat")
+	}
+	rr = react(t, m, "stop")
+	if !hasOutput(rr, "after") {
+		t.Fatal("abort should kill the par and continue")
+	}
+	// Both branches must be dead now.
+	rr = react(t, m, "tick")
+	if hasOutput(rr, "l") || hasOutput(rr, "r") {
+		t.Fatal("par survived the abort")
+	}
+}
+
+func TestLocalSignalScopeReentry(t *testing.T) {
+	// A local signal re-enters its scope fresh each loop iteration.
+	src := `module m(input pure tick, output pure saw) {
+        while (1) {
+            await (tick);
+            signal pure s;
+            par {
+                emit (s);
+                present (s) emit (saw);
+            }
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	for i := 0; i < 3; i++ {
+		if r := react(t, m, "tick"); !hasOutput(r, "saw") {
+			t.Fatalf("iteration %d: local broadcast failed", i)
+		}
+		if r := react(t, m); hasOutput(r, "saw") {
+			t.Fatalf("iteration %d: saw without tick", i)
+		}
+	}
+}
+
+func TestSuspendDefersAbortCheck(t *testing.T) {
+	// While suspended, the inner abort's trigger is not even checked
+	// (the whole body is frozen).
+	src := `module m(input pure hold, input pure kill, input pure tick,
+                     output pure beat, output pure dead) {
+        do {
+            do {
+                while (1) { await (tick); emit (beat); }
+            } abort (kill)
+            handle { emit (dead); halt(); }
+        } suspend (hold);
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	react(t, m, "tick")
+	// kill arrives while suspended: nothing happens.
+	r := react(t, m, "kill", "hold")
+	if hasOutput(r, "dead") {
+		t.Fatal("suspended body reacted to kill")
+	}
+	// After release, kill is gone (signals are not latched): body lives.
+	r = react(t, m, "tick")
+	if !hasOutput(r, "beat") {
+		t.Fatal("body did not resume")
+	}
+}
+
+func TestParTerminationCodesAcrossInstants(t *testing.T) {
+	// One branch terminates immediately, the other after two ticks; the
+	// par joins at the later one.
+	src := `module m(input pure tick, output pure joined) {
+        while (1) {
+            await (tick);
+            par {
+                emit (joined);
+                { await (tick); await (tick); }
+            }
+            emit (joined);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "tick")
+	if !hasOutput(r, "joined") {
+		t.Fatal("first branch emission missing")
+	}
+	react(t, m, "tick")
+	r = react(t, m, "tick")
+	if !hasOutput(r, "joined") {
+		t.Fatal("join emission missing after second tick")
+	}
+}
+
+func TestValuedSignalStructThroughModules(t *testing.T) {
+	// A struct value crosses a module boundary via inlining.
+	src := `typedef unsigned char byte;
+    typedef struct { byte a; byte b; } pair_t;
+    module producer(input pure tick, output pair_t out) {
+        pair_t p;
+        while (1) {
+            await (tick);
+            p.a = 3; p.b = 4;
+            emit_v (out, p);
+        }
+    }
+    module consumer(input pair_t in, output byte sum) {
+        while (1) {
+            await (in);
+            emit_v (sum, in.a + in.b);
+        }
+    }
+    module top(input pure tick, output byte sum) {
+        signal pair_t wire;
+        par {
+            producer (tick, wire);
+            consumer (wire, sum);
+        }
+    }`
+	m := build(t, src, "top", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "tick")
+	found := false
+	for s, v := range r.Outputs {
+		if s.Name == "sum" {
+			found = true
+			if v.Int() != 7 {
+				t.Errorf("sum = %d, want 7", v.Int())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sum missing")
+	}
+}
+
+func TestWeakAbortBodyTerminationWins(t *testing.T) {
+	// If the body terminates in the same instant the trigger fires,
+	// termination wins (no handler).
+	src := `module m(input pure go, input pure stop, output pure done, output pure h) {
+        await (go);
+        do {
+            await (stop);
+            emit (done);
+        } weak_abort (stop)
+        handle { emit (h); }
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	react(t, m, "go")
+	r := react(t, m, "stop")
+	if !hasOutput(r, "done") {
+		t.Fatal("body's final instant missing")
+	}
+	if hasOutput(r, "h") {
+		t.Fatal("handler ran although the body terminated normally")
+	}
+}

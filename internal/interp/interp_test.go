@@ -1,0 +1,702 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/cval"
+	"repro/internal/kernel"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// build compiles ECL source into a kernel module + machine.
+func build(t *testing.T, src, modName string, pol lower.Policy) *Machine {
+	t.Helper()
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("test.ecl", src))
+	f := parser.ParseFile(expanded, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("sem errors:\n%s", diags.String())
+	}
+	res, err := lower.Lower(info, modName, pol, &diags)
+	if err != nil {
+		t.Fatalf("lower: %v\n%s", err, diags.String())
+	}
+	return NewMachine(res.Module, info)
+}
+
+// react runs one instant with the named pure inputs present.
+func react(t *testing.T, m *Machine, present ...string) *Reaction {
+	t.Helper()
+	in := Inputs{}
+	for _, name := range present {
+		sig := m.Mod.Signal(name)
+		if sig == nil {
+			t.Fatalf("no signal %q", name)
+		}
+		in[sig] = cval.Value{}
+	}
+	r, err := m.React(in)
+	if err != nil {
+		t.Fatalf("react(%v): %v", present, err)
+	}
+	return r
+}
+
+// reactV runs one instant with valued inputs.
+func reactV(t *testing.T, m *Machine, vals map[string]cval.Value, pure ...string) *Reaction {
+	t.Helper()
+	in := Inputs{}
+	for name, v := range vals {
+		sig := m.Mod.Signal(name)
+		if sig == nil {
+			t.Fatalf("no signal %q", name)
+		}
+		in[sig] = v
+	}
+	for _, name := range pure {
+		in[m.Mod.Signal(name)] = cval.Value{}
+	}
+	r, err := m.React(in)
+	if err != nil {
+		t.Fatalf("react: %v", err)
+	}
+	return r
+}
+
+func emittedNames(r *Reaction) string {
+	var names []string
+	for _, s := range r.Emitted {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, " ")
+}
+
+func hasOutput(r *Reaction, name string) bool {
+	for s := range r.Outputs {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// ABRO: the canonical behavior check
+
+func TestABRO(t *testing.T) {
+	m := build(t, paperex.ABRO, "abro", lower.MaximalReactive)
+
+	// Instant 1: nothing.
+	if r := react(t, m); hasOutput(r, "O") {
+		t.Fatal("O emitted with no inputs")
+	}
+	// A then B: O at B's instant.
+	if r := react(t, m, "A"); hasOutput(r, "O") {
+		t.Fatal("O too early")
+	}
+	r := react(t, m, "B")
+	if !hasOutput(r, "O") {
+		t.Fatal("O missing after A then B")
+	}
+	// After O, it must not re-emit without reset.
+	if r := react(t, m, "A", "B"); hasOutput(r, "O") {
+		t.Fatal("O re-emitted without reset")
+	}
+	// Reset re-arms.
+	react(t, m, "R")
+	r = react(t, m, "A", "B")
+	if !hasOutput(r, "O") {
+		t.Fatal("O missing after reset with simultaneous A,B")
+	}
+}
+
+func TestABROSimultaneous(t *testing.T) {
+	m := build(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	react(t, m) // boot instant: awaits arm
+	r := react(t, m, "A", "B")
+	if !hasOutput(r, "O") {
+		t.Fatal("O missing for simultaneous A,B")
+	}
+}
+
+func TestABRORPreemptsSameInstant(t *testing.T) {
+	m := build(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	react(t, m)
+	react(t, m, "A")
+	// R together with B: strong abort wins, no O.
+	r := react(t, m, "B", "R")
+	if hasOutput(r, "O") {
+		t.Fatal("strong abort must suppress O when R and B coincide")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// await / emit / halt basics
+
+func TestAwaitIsDelayed(t *testing.T) {
+	src := `module m(input pure a, output pure o) { await(a); emit(o); halt(); }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	// await must not fire in its starting instant even if a is present.
+	if r := react(t, m, "a"); hasOutput(r, "o") {
+		t.Fatal("await fired in its start instant")
+	}
+	if r := react(t, m, "a"); !hasOutput(r, "o") {
+		t.Fatal("await did not fire in a later instant")
+	}
+}
+
+func TestEmptyAwaitDeltaCycle(t *testing.T) {
+	src := `module m(input pure a, output pure s1, output pure s2) {
+        emit(s1); await(); emit(s2); halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	r := react(t, m)
+	if !hasOutput(r, "s1") || hasOutput(r, "s2") {
+		t.Fatalf("instant 1 wrong: %s", emittedNames(r))
+	}
+	// Next instant continues regardless of inputs.
+	r = react(t, m)
+	if !hasOutput(r, "s2") {
+		t.Fatalf("instant 2 wrong: %s", emittedNames(r))
+	}
+}
+
+func TestTermination(t *testing.T) {
+	src := `module m(input pure a, output pure o) { await(a); emit(o); }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "a")
+	if !hasOutput(r, "o") || !r.Terminated {
+		t.Fatalf("expected termination with o; got %s term=%v", emittedNames(r), r.Terminated)
+	}
+	if !m.Terminated() {
+		t.Fatal("machine should be terminated")
+	}
+	// Further reactions are inert.
+	r = react(t, m, "a")
+	if len(r.Emitted) != 0 || !r.Terminated {
+		t.Fatal("terminated machine reacted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Signal expressions
+
+func TestSigExprOrAnd(t *testing.T) {
+	src := `module m(input pure a, input pure b, input pure c,
+                     output pure or_o, output pure and_o) {
+        par {
+            while (1) { await (a | b); emit(or_o); }
+            while (1) { await (a & c); emit(and_o); }
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m) // boot
+	r := react(t, m, "b")
+	if !hasOutput(r, "or_o") || hasOutput(r, "and_o") {
+		t.Fatalf("b instant: %s", emittedNames(r))
+	}
+	r = react(t, m, "a", "c")
+	if !hasOutput(r, "or_o") || !hasOutput(r, "and_o") {
+		t.Fatalf("a&c instant: %s", emittedNames(r))
+	}
+	r = react(t, m, "c")
+	if hasOutput(r, "or_o") || hasOutput(r, "and_o") {
+		t.Fatalf("c-only instant: %s", emittedNames(r))
+	}
+}
+
+func TestSigExprNot(t *testing.T) {
+	src := `module m(input pure a, input pure tick, output pure o) {
+        while (1) { await (tick & ~a); emit(o); }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	if r := react(t, m, "tick", "a"); hasOutput(r, "o") {
+		t.Fatal("~a should block when a present")
+	}
+	if r := react(t, m, "tick"); !hasOutput(r, "o") {
+		t.Fatal("tick & ~a should fire when only tick present")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// present
+
+func TestPresentBothArms(t *testing.T) {
+	src := `module m(input pure tick, input pure a, output pure yes, output pure no) {
+        while (1) {
+            await (tick);
+            present (a) emit(yes); else emit(no);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "tick", "a")
+	if !hasOutput(r, "yes") || hasOutput(r, "no") {
+		t.Fatalf("tick+a: %s", emittedNames(r))
+	}
+	r = react(t, m, "tick")
+	if hasOutput(r, "yes") || !hasOutput(r, "no") {
+		t.Fatalf("tick only: %s", emittedNames(r))
+	}
+}
+
+func TestPresentLocalSignalSameInstant(t *testing.T) {
+	// Emission in one par branch must be seen by present in another.
+	src := `module m(input pure tick, output pure got) {
+        signal pure s;
+        while (1) {
+            await (tick);
+            par {
+                emit(s);
+                present (s) emit(got);
+            }
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "tick")
+	if !hasOutput(r, "got") {
+		t.Fatal("same-instant local broadcast failed")
+	}
+}
+
+func TestPresentAbsentLocalResolved(t *testing.T) {
+	// present on a local that nobody emits must take the else branch
+	// (Can analysis sets it absent).
+	src := `module m(input pure tick, output pure no) {
+        signal pure s;
+        while (1) {
+            await (tick);
+            present (s) halt(); else emit(no);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "tick")
+	if !hasOutput(r, "no") {
+		t.Fatal("unemitted local signal should resolve absent")
+	}
+}
+
+func TestCausalityError(t *testing.T) {
+	// Classic paradox: s present iff s absent.
+	src := `module m(input pure tick, output pure o) {
+        signal pure s;
+        await (tick);
+        present (s) emit(o); else emit(s);
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	if _, err := m.React(Inputs{}); err != nil {
+		t.Fatalf("boot instant should be fine: %v", err)
+	}
+	tick := m.Mod.Signal("tick")
+	_, err := m.React(Inputs{tick: cval.Value{}})
+	if err == nil {
+		t.Fatal("expected causality error")
+	}
+	if _, ok := err.(*CausalityError); !ok {
+		t.Fatalf("got %T: %v", err, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Preemption
+
+func TestStrongAbortKillsBody(t *testing.T) {
+	src := `module m(input pure kill, input pure tick, output pure beat, output pure dead) {
+        do {
+            while (1) { await(tick); emit(beat); }
+        } abort (kill)
+        handle { emit(dead); }
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	if r := react(t, m, "tick"); !hasOutput(r, "beat") {
+		t.Fatal("beat missing")
+	}
+	// kill and tick together: strong abort suppresses beat, runs handler.
+	r := react(t, m, "tick", "kill")
+	if hasOutput(r, "beat") {
+		t.Fatal("strong abort must suppress the body's instant")
+	}
+	if !hasOutput(r, "dead") {
+		t.Fatal("handler did not run")
+	}
+	// Body stays dead.
+	if r := react(t, m, "tick"); hasOutput(r, "beat") {
+		t.Fatal("body survived abort")
+	}
+}
+
+func TestWeakAbortLetsBodyFinishInstant(t *testing.T) {
+	src := `module m(input pure kill, input pure tick, output pure beat, output pure dead) {
+        do {
+            while (1) { await(tick); emit(beat); }
+        } weak_abort (kill)
+        handle { emit(dead); }
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := react(t, m, "tick", "kill")
+	if !hasOutput(r, "beat") {
+		t.Fatal("weak abort must let the body run its last instant")
+	}
+	if !hasOutput(r, "dead") {
+		t.Fatal("handler missing")
+	}
+}
+
+func TestAbortIsDelayed(t *testing.T) {
+	// Trigger present in the very start instant must not abort.
+	src := `module m(input pure kill, output pure alive, output pure dead) {
+        do {
+            emit(alive); halt();
+        } abort (kill)
+        handle { emit(dead); }
+        halt();
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	r := react(t, m, "kill")
+	if !hasOutput(r, "alive") || hasOutput(r, "dead") {
+		t.Fatalf("start instant: %s", emittedNames(r))
+	}
+	r = react(t, m, "kill")
+	if !hasOutput(r, "dead") {
+		t.Fatal("abort missing in later instant")
+	}
+}
+
+func TestSuspendFreezesBody(t *testing.T) {
+	src := `module m(input pure hold, input pure tick, output pure beat) {
+        do {
+            while (1) { await(tick); emit(beat); }
+        } suspend (hold);
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	if r := react(t, m, "tick"); !hasOutput(r, "beat") {
+		t.Fatal("beat missing")
+	}
+	// Suspended: tick ignored, state frozen.
+	if r := react(t, m, "tick", "hold"); hasOutput(r, "beat") {
+		t.Fatal("suspended body reacted")
+	}
+	// Resume: works again.
+	if r := react(t, m, "tick"); !hasOutput(r, "beat") {
+		t.Fatal("body did not resume after suspension")
+	}
+}
+
+func TestWeakAbortHandlerFromPaper(t *testing.T) {
+	m := build(t, paperex.RunnerStop, "runner", lower.MaximalReactive)
+	react(t, m)       // boot
+	react(t, m, "go") // await go fires -> enter weak_abort, emit started
+	r := react(t, m, "stop")
+	if !hasOutput(r, "aborted") {
+		t.Fatalf("aborted missing: %s", emittedNames(r))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Par termination
+
+func TestParJoins(t *testing.T) {
+	src := `module m(input pure a, input pure b, output pure both) {
+        while (1) {
+            par {
+                await (a);
+                await (b);
+            }
+            emit(both);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	if r := react(t, m, "a"); hasOutput(r, "both") {
+		t.Fatal("par joined too early")
+	}
+	if r := react(t, m, "b"); !hasOutput(r, "both") {
+		t.Fatal("par did not join")
+	}
+	// The loop restarts the par: both awaits re-arm.
+	if r := react(t, m, "a", "b"); !hasOutput(r, "both") {
+		t.Fatal("par did not rerun after loop")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Data: variables, loops, extracted functions
+
+func TestCounterLoop(t *testing.T) {
+	src := `module m(input pure tick, output pure fire) {
+        int cnt;
+        while (1) {
+            for (cnt = 0; cnt < 3; cnt++) {
+                await (tick);
+            }
+            emit(fire);
+        }
+    }`
+	for _, pol := range []lower.Policy{lower.MaximalReactive, lower.MinimalReactive} {
+		m := build(t, src, "m", pol)
+		react(t, m)
+		for round := 0; round < 2; round++ {
+			for i := 0; i < 2; i++ {
+				if r := react(t, m, "tick"); hasOutput(r, "fire") {
+					t.Fatalf("policy %v: fire too early (tick %d)", pol, i)
+				}
+			}
+			if r := react(t, m, "tick"); !hasOutput(r, "fire") {
+				t.Fatalf("policy %v: fire missing after 3 ticks", pol)
+			}
+		}
+	}
+}
+
+func TestValuedSignalEmission(t *testing.T) {
+	src := `typedef unsigned char byte;
+    module m(input byte in_b, output byte out_b) {
+        while (1) {
+            await (in_b);
+            emit_v (out_b, in_b + 1);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	r := reactV(t, m, map[string]cval.Value{"in_b": cval.FromInt(ctypes.UChar, 41)})
+	var got int64 = -1
+	for s, v := range r.Outputs {
+		if s.Name == "out_b" {
+			got = v.Int()
+		}
+	}
+	if got != 42 {
+		t.Fatalf("out_b = %d, want 42", got)
+	}
+}
+
+func TestSignalValuePersists(t *testing.T) {
+	src := `typedef unsigned char byte;
+    module m(input byte v, input pure probe, output byte echo) {
+        while (1) {
+            await (probe);
+            emit_v (echo, v);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	react(t, m)
+	reactV(t, m, map[string]cval.Value{"v": cval.FromInt(ctypes.UChar, 7)})
+	// v absent now; its value must persist from the last emission.
+	r := react(t, m, "probe")
+	for s, val := range r.Outputs {
+		if s.Name == "echo" && val.Int() != 7 {
+			t.Fatalf("echo = %d, want persisted 7", val.Int())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The paper's protocol stack, end to end
+
+// feedPacket drives one 64-byte packet into the machine. good controls
+// whether the CRC matches and the header matches the expected pattern.
+func feedPacket(t *testing.T, m *Machine, good bool) []string {
+	t.Helper()
+	inByte := m.Mod.Signal("in_byte")
+	if inByte == nil {
+		t.Fatal("no in_byte signal")
+	}
+	pkt := paperex.MakePacket(good)
+
+	var outs []string
+	for i := 0; i < paperex.PktSize; i++ {
+		r, err := m.React(Inputs{inByte: cval.FromInt(ctypes.UChar, int64(pkt[i]))})
+		if err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		for s := range r.Outputs {
+			outs = append(outs, s.Name)
+		}
+	}
+	// Drain instants for prochdr's multi-instant header scan.
+	for i := 0; i < paperex.HdrSize+4; i++ {
+		r, err := m.React(Inputs{})
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		for s := range r.Outputs {
+			outs = append(outs, s.Name)
+		}
+	}
+	return outs
+}
+
+func TestProtocolStackGoodPacket(t *testing.T) {
+	for _, pol := range []lower.Policy{lower.MaximalReactive, lower.MinimalReactive} {
+		m := build(t, paperex.Stack, "toplevel", pol)
+		react(t, m) // boot
+		outs := feedPacket(t, m, true)
+		found := false
+		for _, o := range outs {
+			if o == "addr_match" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("policy %v: addr_match missing for good packet (outputs: %v)", pol, outs)
+		}
+	}
+}
+
+func TestProtocolStackBadCRC(t *testing.T) {
+	m := build(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	react(t, m)
+	outs := feedPacket(t, m, false)
+	for _, o := range outs {
+		if o == "addr_match" {
+			t.Fatal("addr_match emitted for bad CRC")
+		}
+	}
+}
+
+func TestProtocolStackReset(t *testing.T) {
+	m := build(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	react(t, m)
+	inByte := m.Mod.Signal("in_byte")
+	reset := m.Mod.Signal("reset")
+	// Feed half a packet, then reset, then a full good packet.
+	for i := 0; i < 30; i++ {
+		if _, err := m.React(Inputs{inByte: cval.FromInt(ctypes.UChar, 9)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.React(Inputs{reset: cval.Value{}}); err != nil {
+		t.Fatal(err)
+	}
+	outs := feedPacket(t, m, true)
+	found := false
+	for _, o := range outs {
+		if o == "addr_match" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("addr_match missing after reset (outputs not realigned?)")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Buffer example
+
+func TestBufferRecordPath(t *testing.T) {
+	m := build(t, paperex.Buffer, "bufferctl", lower.MaximalReactive)
+	react(t, m) // boot
+	react(t, m, "rec_btn")
+	mic := m.Mod.Signal("mic_sample")
+	r, err := m.React(Inputs{mic: cval.FromInt(ctypes.UChar, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// recording: a mic sample must raise low_water bookkeeping at least.
+	_ = r
+	// Stop and verify no further samples are consumed.
+	react(t, m, "stop_btn")
+	r2, err := m.React(Inputs{mic: cval.FromInt(ctypes.UChar, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2
+}
+
+func TestBufferLevelMonitor(t *testing.T) {
+	m := build(t, paperex.Buffer, "bufferctl", lower.MaximalReactive)
+	r := react(t, m) // boot instant: level 0 -> buf_empty-ish signals
+	// levelmon emits low_water when level <= LOWMARK (0 at boot).
+	if !hasOutput(r, "low_water") {
+		t.Fatalf("low_water missing at boot: %s", emittedNames(r))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// State keys / determinism
+
+func TestStateKeyDeterministic(t *testing.T) {
+	m1 := build(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	m2 := build(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	react(t, m1)
+	react(t, m2)
+	react(t, m1, "A")
+	react(t, m2, "A")
+	if m1.State().Key() != m2.State().Key() {
+		t.Error("same input sequence must give identical state keys")
+	}
+	react(t, m1, "B")
+	if m1.State().Key() == m2.State().Key() {
+		t.Error("different input sequences should move the state")
+	}
+}
+
+func TestSetStateRoundTrip(t *testing.T) {
+	m := build(t, paperex.ABRO, "abro", lower.MaximalReactive)
+	react(t, m)
+	react(t, m, "A")
+	saved := m.State()
+	r1 := react(t, m, "B")
+	// Restore and replay.
+	m.SetState(saved, true)
+	r2 := react(t, m, "B")
+	if hasOutput(r1, "O") != hasOutput(r2, "O") {
+		t.Error("replay from saved state diverged")
+	}
+}
+
+func TestInstantaneousLoopDetected(t *testing.T) {
+	// A reactive loop whose body terminates instantly when c is false.
+	src := `module m(input pure tick, output pure o) {
+        int c;
+        c = 0;
+        while (1) {
+            if (c) { await (tick); }
+            emit(o);
+        }
+    }`
+	m := build(t, src, "m", lower.MaximalReactive)
+	_, err := m.React(Inputs{})
+	if err == nil || !strings.Contains(err.Error(), "instantaneous loop") {
+		t.Fatalf("expected instantaneous-loop error, got %v", err)
+	}
+}
+
+// kernel writer smoke test against the lowered stack.
+func TestEsterelArtifact(t *testing.T) {
+	m := build(t, paperex.Stack, "toplevel", lower.MaximalReactive)
+	text := kernel.EsterelString(m.Mod)
+	for _, want := range []string{
+		"module toplevel:",
+		"input reset;",
+		"input in_byte : unsigned char;",
+		"output addr_match;",
+		"await [in_byte]",
+		"signal toplevel.packet : union",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Esterel artifact missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// State is the explicit control state of a kernel module between
+// instants: which pause points hold control, plus the bookkeeping
+// composite nodes need to route resumption (sequence index, parallel
+// branch statuses, chosen present/if arm, abort phase). It is exactly
+// Esterel's "selected" control residue, and its canonical Key is the
+// EFSM state identity.
+type State struct {
+	m map[int][]int
+}
+
+// NewState returns the boot state (nothing selected).
+func NewState() *State { return &State{m: make(map[int][]int)} }
+
+// Empty reports whether no control is held (program not started, or
+// terminated).
+func (s *State) Empty() bool { return len(s.m) == 0 }
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	c := NewState()
+	for k, v := range s.m {
+		vv := make([]int, len(v))
+		copy(vv, v)
+		c.m[k] = vv
+	}
+	return c
+}
+
+// get returns the entry for a node, or nil.
+func (s *State) get(id int) []int { return s.m[id] }
+
+// set stores an entry for a node.
+func (s *State) set(id int, v ...int) { s.m[id] = v }
+
+// clear removes the node's entry.
+func (s *State) clear(id int) { delete(s.m, id) }
+
+// clearSubtree removes entries for a statement and every descendant.
+func (s *State) clearSubtree(st kernel.Stmt) {
+	kernel.Walk(st, func(n kernel.Stmt) { delete(s.m, n.ID()) })
+}
+
+// copySubtree copies entries for a statement subtree from src.
+func (s *State) copySubtree(src *State, st kernel.Stmt) {
+	kernel.Walk(st, func(n kernel.Stmt) {
+		if v, ok := src.m[n.ID()]; ok {
+			vv := make([]int, len(v))
+			copy(vv, v)
+			s.m[n.ID()] = vv
+		}
+	})
+}
+
+// Key returns a canonical string identity for the state.
+func (s *State) Key() string {
+	if len(s.m) == 0 {
+		return "boot"
+	}
+	ids := make([]int, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d=", id)
+		for j, v := range s.m[id] {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	return b.String()
+}
+
+// hasActiveWithin reports whether any pause-point entry exists inside
+// the subtree (the node holds control across instants).
+func (s *State) hasActiveWithin(st kernel.Stmt) bool {
+	found := false
+	kernel.Walk(st, func(n kernel.Stmt) {
+		if found {
+			return
+		}
+		switch n.(type) {
+		case *kernel.Pause, *kernel.Halt, *kernel.Await:
+			if _, ok := s.m[n.ID()]; ok {
+				found = true
+			}
+		}
+	})
+	return found
+}

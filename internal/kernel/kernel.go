@@ -1,0 +1,450 @@
+// Package kernel defines the Esterel kernel intermediate representation
+// that ECL modules are lowered into. It is the contract between the
+// front end (internal/lower) and the back ends: the reference
+// interpreter (internal/interp), the EFSM compiler (internal/compile),
+// and the circuit translator (internal/circuit).
+//
+// The IR mirrors Esterel's kernel statements — nothing, pause, emit,
+// present, sequence, loop, parallel, trap/exit, abort (strong and
+// weak), suspend, and local signal scope — extended with the data
+// actions ECL needs: inline assignments, data-condition branches, and
+// atomic calls to extracted C data functions. Data expressions reuse
+// the front end's AST, bound to per-instance variable and signal
+// tables so that one module instantiated twice gets independent state.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ctypes"
+	"repro/internal/sem"
+)
+
+// SigClass classifies a signal's role after lowering and inlining.
+type SigClass int
+
+// Signal classes.
+const (
+	// Input signals come from the environment.
+	Input SigClass = iota
+	// Output signals go to the environment.
+	Output
+	// Local signals are internal (declared with "signal" or created by
+	// inlining a module instantiation's internal connections).
+	LocalSig
+)
+
+// String names the class.
+func (c SigClass) String() string {
+	switch c {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case LocalSig:
+		return "signal"
+	}
+	return "SigClass(?)"
+}
+
+// Signal is a runtime signal object. After lowering, every signal in a
+// compiled unit is a distinct *Signal; sharing a pointer means sharing
+// the wire.
+type Signal struct {
+	Name  string // unique within the compiled unit
+	Class SigClass
+	Pure  bool
+	Type  ctypes.Type // value type; nil for pure
+}
+
+// String returns the signal name.
+func (s *Signal) String() string { return s.Name }
+
+// Var is a runtime variable slot. Each inlined module instance gets
+// fresh Vars.
+type Var struct {
+	Name string // unique within the compiled unit
+	Type ctypes.Type
+}
+
+// String returns the variable name.
+func (v *Var) String() string { return v.Name }
+
+// Binding connects AST expressions to the runtime objects of one
+// module instance: which *Var each sem.VarInfo denotes, and which
+// *Signal each sem.SignalInfo denotes.
+type Binding struct {
+	Info  *sem.Info
+	Vars  map[*sem.VarInfo]*Var
+	Sigs  map[*sem.SignalInfo]*Signal
+	Label string // instance path, e.g. "toplevel.assemble"
+}
+
+// Expr is an AST expression bound to an instance.
+type Expr struct {
+	B *Binding
+	E ast.Expr
+}
+
+// String renders the expression source.
+func (e Expr) String() string { return ast.ExprString(e.E) }
+
+// DataFunc is an extracted C data function: a run of data-only
+// statements executed atomically within an instant.
+type DataFunc struct {
+	Name string
+	B    *Binding
+	Body []ast.Stmt
+}
+
+// String returns the function name.
+func (f *DataFunc) String() string { return f.Name }
+
+// ---------------------------------------------------------------------------
+// Signal expressions (presence formulas)
+
+// SigExpr is a Boolean formula over signal presence.
+type SigExpr interface {
+	sigExpr()
+	String() string
+	// Signals appends the referenced signals to dst.
+	Signals(dst []*Signal) []*Signal
+}
+
+// SigRef tests presence of one signal.
+type SigRef struct{ Sig *Signal }
+
+// SigNot negates a presence formula.
+type SigNot struct{ X SigExpr }
+
+// SigAnd conjoins two presence formulas.
+type SigAnd struct{ X, Y SigExpr }
+
+// SigOr disjoins two presence formulas.
+type SigOr struct{ X, Y SigExpr }
+
+func (*SigRef) sigExpr() {}
+func (*SigNot) sigExpr() {}
+func (*SigAnd) sigExpr() {}
+func (*SigOr) sigExpr()  {}
+
+func (s *SigRef) String() string { return s.Sig.Name }
+func (s *SigNot) String() string { return "not " + s.X.String() }
+func (s *SigAnd) String() string { return "(" + s.X.String() + " and " + s.Y.String() + ")" }
+func (s *SigOr) String() string  { return "(" + s.X.String() + " or " + s.Y.String() + ")" }
+
+// Signals implements SigExpr.
+func (s *SigRef) Signals(dst []*Signal) []*Signal { return append(dst, s.Sig) }
+
+// Signals implements SigExpr.
+func (s *SigNot) Signals(dst []*Signal) []*Signal { return s.X.Signals(dst) }
+
+// Signals implements SigExpr.
+func (s *SigAnd) Signals(dst []*Signal) []*Signal { return s.Y.Signals(s.X.Signals(dst)) }
+
+// Signals implements SigExpr.
+func (s *SigOr) Signals(dst []*Signal) []*Signal { return s.Y.Signals(s.X.Signals(dst)) }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a kernel statement. Every node carries a unique ID (assigned
+// by Module.Number) used for control-state bookkeeping.
+type Stmt interface {
+	kernelStmt()
+	// ID returns the node's unique number within its module.
+	ID() int
+	setID(int)
+}
+
+type node struct{ id int }
+
+func (n *node) ID() int      { return n.id }
+func (n *node) setID(id int) { n.id = id }
+func (n *node) kernelStmt()  {}
+
+// Nothing does nothing and terminates instantly.
+type Nothing struct{ node }
+
+// Pause ends the instant; control resumes after it next instant.
+type Pause struct{ node }
+
+// Halt pauses forever (until preempted from outside).
+type Halt struct{ node }
+
+// Await pauses, then in each later instant tests Sig and terminates
+// when it holds (ECL/Esterel delayed await).
+type Await struct {
+	node
+	Sig SigExpr
+}
+
+// Emit makes Sig present this instant; Value (if non-nil) becomes the
+// signal's carried value.
+type Emit struct {
+	node
+	Sig   *Signal
+	Value *Expr
+}
+
+// Assign is an inline data action: LHS = RHS (compound ops and
+// inc/dec are normalized by the splitter into plain assignments or
+// kept as expression actions).
+type Assign struct {
+	node
+	LHS Expr
+	RHS Expr
+}
+
+// Eval evaluates an expression for its side effects (e.g. a void
+// function call kept inline).
+type Eval struct {
+	node
+	X Expr
+}
+
+// DataCall atomically executes an extracted data function.
+type DataCall struct {
+	node
+	F *DataFunc
+}
+
+// Seq runs children in order.
+type Seq struct {
+	node
+	List []Stmt
+}
+
+// Loop runs Body forever; exits only via an enclosing Trap/Exit or
+// preemption. The interpreter flags instantaneous loop bodies.
+type Loop struct {
+	node
+	Body Stmt
+}
+
+// Par runs branches concurrently; terminates when all branches have
+// terminated.
+type Par struct {
+	node
+	Branches []Stmt
+}
+
+// Present branches on a presence formula, instantaneously.
+type Present struct {
+	node
+	Sig  SigExpr
+	Then Stmt // may be nil
+	Else Stmt // may be nil
+}
+
+// IfData branches on a C data condition, instantaneously.
+type IfData struct {
+	node
+	Cond Expr
+	Then Stmt // may be nil
+	Else Stmt // may be nil
+}
+
+// Trap declares an exit scope: an Exit targeting it aborts Body and
+// continues after the Trap.
+type Trap struct {
+	node
+	Name string
+	Body Stmt
+}
+
+// Exit jumps out of the targeted Trap.
+type Exit struct {
+	node
+	Target *Trap
+}
+
+// Abort preempts Body when Sig holds at the start of a later instant
+// (strong) or at the end of the triggering instant (weak). Handler, if
+// non-nil, runs when the abort triggers (not on normal termination).
+type Abort struct {
+	node
+	Body    Stmt
+	Sig     SigExpr
+	Weak    bool
+	Handler Stmt // may be nil
+}
+
+// Suspend freezes Body in instants where Sig holds.
+type Suspend struct {
+	node
+	Body Stmt
+	Sig  SigExpr
+}
+
+// Local introduces a local signal scope. After lowering, signal
+// objects are globally unique, so Local only marks the declaration
+// point (each instant the signal's status starts undetermined).
+type Local struct {
+	node
+	Sig  *Signal
+	Body Stmt
+}
+
+// ---------------------------------------------------------------------------
+// Module
+
+// Module is one compiled unit: a (possibly inlined) reactive program.
+type Module struct {
+	Name    string
+	Inputs  []*Signal
+	Outputs []*Signal
+	Locals  []*Signal
+	Vars    []*Var
+	Funcs   []*DataFunc
+	Body    Stmt
+
+	nodes []Stmt // by ID, filled by Number
+}
+
+// Number assigns dense IDs to every statement node and records the
+// node table. It must be called once after construction.
+func (m *Module) Number() {
+	m.nodes = m.nodes[:0]
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		if s == nil {
+			return
+		}
+		s.setID(len(m.nodes))
+		m.nodes = append(m.nodes, s)
+		for _, c := range Children(s) {
+			walk(c)
+		}
+	}
+	walk(m.Body)
+}
+
+// NumNodes returns the number of numbered statement nodes.
+func (m *Module) NumNodes() int { return len(m.nodes) }
+
+// Node returns the statement with the given ID.
+func (m *Module) Node(id int) Stmt { return m.nodes[id] }
+
+// Signals returns all signals: inputs, outputs, then locals.
+func (m *Module) Signals() []*Signal {
+	out := make([]*Signal, 0, len(m.Inputs)+len(m.Outputs)+len(m.Locals))
+	out = append(out, m.Inputs...)
+	out = append(out, m.Outputs...)
+	out = append(out, m.Locals...)
+	return out
+}
+
+// Signal returns the signal with the given name, or nil.
+func (m *Module) Signal(name string) *Signal {
+	for _, s := range m.Signals() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Children returns the direct child statements of s, in order.
+func Children(s Stmt) []Stmt {
+	switch s := s.(type) {
+	case *Seq:
+		return s.List
+	case *Loop:
+		return []Stmt{s.Body}
+	case *Par:
+		return s.Branches
+	case *Present:
+		return []Stmt{s.Then, s.Else}
+	case *IfData:
+		return []Stmt{s.Then, s.Else}
+	case *Trap:
+		return []Stmt{s.Body}
+	case *Abort:
+		return []Stmt{s.Body, s.Handler}
+	case *Suspend:
+		return []Stmt{s.Body}
+	case *Local:
+		return []Stmt{s.Body}
+	}
+	return nil
+}
+
+// Walk visits s and all descendants in preorder (nil children skipped).
+func Walk(s Stmt, f func(Stmt)) {
+	if s == nil {
+		return
+	}
+	f(s)
+	for _, c := range Children(s) {
+		Walk(c, f)
+	}
+}
+
+// EmitSet returns the set of signals that the subtree rooted at s may
+// emit (a sound over-approximation used by the causality analysis).
+func EmitSet(s Stmt) map[*Signal]bool {
+	out := make(map[*Signal]bool)
+	Walk(s, func(n Stmt) {
+		if e, ok := n.(*Emit); ok {
+			out[e.Sig] = true
+		}
+	})
+	return out
+}
+
+// MayPause reports whether the subtree can end an instant with control
+// retained inside (contains pause/halt/await).
+func MayPause(s Stmt) bool {
+	found := false
+	Walk(s, func(n Stmt) {
+		switch n.(type) {
+		case *Pause, *Halt, *Await:
+			found = true
+		}
+	})
+	return found
+}
+
+// Validate performs structural sanity checks on a numbered module and
+// returns the first problem found, or nil.
+func (m *Module) Validate() error {
+	if m.Body == nil {
+		return fmt.Errorf("module %s: nil body", m.Name)
+	}
+	if len(m.nodes) == 0 {
+		return fmt.Errorf("module %s: not numbered (call Number)", m.Name)
+	}
+	seen := make(map[int]bool)
+	traps := make(map[*Trap]bool)
+	var err error
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		if s == nil || err != nil {
+			return
+		}
+		if seen[s.ID()] {
+			err = fmt.Errorf("module %s: duplicate or shared node id %d (%T)", m.Name, s.ID(), s)
+			return
+		}
+		seen[s.ID()] = true
+		if t, ok := s.(*Trap); ok {
+			traps[t] = true
+		}
+		if e, ok := s.(*Exit); ok {
+			if e.Target == nil || !traps[e.Target] {
+				err = fmt.Errorf("module %s: exit targets an unknown or non-enclosing trap", m.Name)
+				return
+			}
+		}
+		for _, c := range Children(s) {
+			walk(c)
+		}
+		if t, ok := s.(*Trap); ok {
+			delete(traps, t)
+		}
+	}
+	walk(m.Body)
+	return err
+}

@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctypes"
+)
+
+// tiny builds: loop { await A; emit O } with a trap for structure tests.
+func tinyModule() *Module {
+	a := &Signal{Name: "A", Class: Input, Pure: true}
+	o := &Signal{Name: "O", Class: Output, Pure: true}
+	trap := &Trap{Name: "T"}
+	trap.Body = &Seq{List: []Stmt{
+		&Await{Sig: &SigRef{Sig: a}},
+		&Emit{Sig: o},
+		&Exit{Target: trap},
+	}}
+	m := &Module{
+		Name:    "tiny",
+		Inputs:  []*Signal{a},
+		Outputs: []*Signal{o},
+		Body:    &Loop{Body: trap},
+	}
+	m.Number()
+	return m
+}
+
+func TestNumbering(t *testing.T) {
+	m := tinyModule()
+	if m.NumNodes() != 6 {
+		t.Errorf("nodes = %d, want 6 (loop, trap, seq, await, emit, exit)", m.NumNodes())
+	}
+	seen := map[int]bool{}
+	Walk(m.Body, func(s Stmt) {
+		if seen[s.ID()] {
+			t.Errorf("duplicate id %d", s.ID())
+		}
+		seen[s.ID()] = true
+		if m.Node(s.ID()) != s {
+			t.Errorf("node table wrong at %d", s.ID())
+		}
+	})
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tinyModule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesEscapedExit(t *testing.T) {
+	other := &Trap{Name: "elsewhere", Body: &Nothing{}}
+	m := &Module{
+		Name: "bad",
+		Body: &Seq{List: []Stmt{&Exit{Target: other}}},
+	}
+	m.Number()
+	if err := m.Validate(); err == nil {
+		t.Fatal("exit to non-enclosing trap must fail validation")
+	}
+}
+
+func TestValidateCatchesSharedNodes(t *testing.T) {
+	shared := &Nothing{}
+	m := &Module{Name: "bad", Body: &Seq{List: []Stmt{shared, shared}}}
+	m.Number()
+	if err := m.Validate(); err == nil {
+		t.Fatal("shared node must fail validation")
+	}
+}
+
+func TestEmitSetAndMayPause(t *testing.T) {
+	m := tinyModule()
+	set := EmitSet(m.Body)
+	if len(set) != 1 {
+		t.Errorf("emit set size = %d", len(set))
+	}
+	if !MayPause(m.Body) {
+		t.Error("module with await must MayPause")
+	}
+	if MayPause(&Emit{Sig: m.Outputs[0]}) {
+		t.Error("emit alone must not MayPause")
+	}
+}
+
+func TestSigExprStringAndSignals(t *testing.T) {
+	a := &Signal{Name: "a"}
+	b := &Signal{Name: "b"}
+	e := &SigOr{X: &SigAnd{X: &SigRef{Sig: a}, Y: &SigNot{X: &SigRef{Sig: b}}}, Y: &SigRef{Sig: a}}
+	if got := e.String(); got != "((a and not b) or a)" {
+		t.Errorf("String = %q", got)
+	}
+	sigs := e.Signals(nil)
+	if len(sigs) != 3 {
+		t.Errorf("signals = %d, want 3 occurrences", len(sigs))
+	}
+}
+
+func TestEsterelWriter(t *testing.T) {
+	m := tinyModule()
+	text := EsterelString(m)
+	for _, want := range []string{
+		"module tiny:", "input A;", "output O;",
+		"await [A]", "emit O", "trap T in", "exit T", "loop", "end module",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestEsterelWriterValuedSignal(t *testing.T) {
+	v := &Signal{Name: "v", Class: Input, Type: ctypes.UChar}
+	m := &Module{Name: "m", Inputs: []*Signal{v}, Body: &Halt{}}
+	m.Number()
+	if !strings.Contains(EsterelString(m), "input v : unsigned char;") {
+		t.Error("valued signal type missing")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	m := tinyModule()
+	st := CollectStats(m)
+	if st.Pauses != 1 || st.Emits != 1 || st.Traps != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestChildrenCoverage(t *testing.T) {
+	a := &Signal{Name: "a", Pure: true}
+	nodes := []Stmt{
+		&Seq{List: []Stmt{&Nothing{}}},
+		&Loop{Body: &Nothing{}},
+		&Par{Branches: []Stmt{&Nothing{}, &Nothing{}}},
+		&Present{Sig: &SigRef{Sig: a}, Then: &Nothing{}},
+		&IfData{Then: &Nothing{}, Else: &Nothing{}},
+		&Trap{Body: &Nothing{}},
+		&Abort{Body: &Nothing{}, Sig: &SigRef{Sig: a}},
+		&Suspend{Body: &Nothing{}, Sig: &SigRef{Sig: a}},
+		&Local{Sig: a, Body: &Nothing{}},
+	}
+	for _, n := range nodes {
+		if len(Children(n)) == 0 {
+			t.Errorf("%T has no children", n)
+		}
+	}
+	if Children(&Nothing{}) != nil {
+		t.Error("leaf node has children")
+	}
+}

@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// WriteEsterel renders the module as Esterel-flavored source text: the
+// artifact the ECL compiler's phase 1 hands to the Esterel compiler in
+// the paper's flow. Data actions appear as host-language calls, the
+// way Esterel v5 embeds C.
+func WriteEsterel(w io.Writer, m *Module) error {
+	p := &esterelPrinter{w: w}
+	p.printf("module %s:\n", m.Name)
+	for _, s := range m.Inputs {
+		p.printf("input %s%s;\n", s.Name, typeSuffix(s))
+	}
+	for _, s := range m.Outputs {
+		p.printf("output %s%s;\n", s.Name, typeSuffix(s))
+	}
+	if len(m.Vars) > 0 {
+		var decls []string
+		for _, v := range m.Vars {
+			decls = append(decls, fmt.Sprintf("%s : %s", v.Name, v.Type))
+		}
+		p.printf("var %s in\n", strings.Join(decls, ", "))
+	}
+	p.stmt(m.Body)
+	if len(m.Vars) > 0 {
+		p.printf("end var\n")
+	}
+	p.printf("end module\n")
+	return p.err
+}
+
+// EsterelString renders the module as Esterel-flavored source.
+func EsterelString(m *Module) string {
+	var b strings.Builder
+	_ = WriteEsterel(&b, m)
+	return b.String()
+}
+
+func typeSuffix(s *Signal) string {
+	if s.Pure {
+		return ""
+	}
+	return " : " + s.Type.String()
+}
+
+type esterelPrinter struct {
+	w      io.Writer
+	indent int
+	err    error
+}
+
+func (p *esterelPrinter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *esterelPrinter) line(format string, args ...interface{}) {
+	p.printf("%s", strings.Repeat("  ", p.indent))
+	p.printf(format, args...)
+	p.printf("\n")
+}
+
+func (p *esterelPrinter) block(s Stmt) {
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *esterelPrinter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case nil:
+		p.line("nothing")
+	case *Nothing:
+		p.line("nothing")
+	case *Pause:
+		p.line("pause")
+	case *Halt:
+		p.line("halt")
+	case *Await:
+		if s.Sig == nil {
+			p.line("pause")
+		} else {
+			p.line("await [%s]", s.Sig)
+		}
+	case *Emit:
+		if s.Value != nil {
+			p.line("emit %s(%s)", s.Sig.Name, ast.ExprString(s.Value.E))
+		} else {
+			p.line("emit %s", s.Sig.Name)
+		}
+	case *Assign:
+		p.line("call %s := %s", ast.ExprString(s.LHS.E), ast.ExprString(s.RHS.E))
+	case *Eval:
+		p.line("call %s", ast.ExprString(s.X.E))
+	case *DataCall:
+		p.line("call %s()", s.F.Name)
+	case *Seq:
+		for i, c := range s.List {
+			if i > 0 {
+				p.line(";")
+			}
+			p.stmt(c)
+		}
+	case *Loop:
+		p.line("loop")
+		p.block(s.Body)
+		p.line("end loop")
+	case *Par:
+		p.line("[")
+		for i, b := range s.Branches {
+			if i > 0 {
+				p.line("||")
+			}
+			p.block(b)
+		}
+		p.line("]")
+	case *Present:
+		p.line("present [%s] then", s.Sig)
+		if s.Then != nil {
+			p.block(s.Then)
+		}
+		if s.Else != nil {
+			p.line("else")
+			p.block(s.Else)
+		}
+		p.line("end present")
+	case *IfData:
+		p.line("if %s then", ast.ExprString(s.Cond.E))
+		if s.Then != nil {
+			p.block(s.Then)
+		}
+		if s.Else != nil {
+			p.line("else")
+			p.block(s.Else)
+		}
+		p.line("end if")
+	case *Trap:
+		p.line("trap %s in", s.Name)
+		p.block(s.Body)
+		p.line("end trap")
+	case *Exit:
+		p.line("exit %s", s.Target.Name)
+	case *Abort:
+		kw := "abort"
+		if s.Weak {
+			kw = "weak abort"
+		}
+		p.line("%s", kw)
+		p.block(s.Body)
+		p.line("when [%s]%s", s.Sig, map[bool]string{true: " do", false: ""}[s.Handler != nil])
+		if s.Handler != nil {
+			p.block(s.Handler)
+			p.line("end abort")
+		}
+	case *Suspend:
+		p.line("suspend")
+		p.block(s.Body)
+		p.line("when [%s]", s.Sig)
+	case *Local:
+		p.line("signal %s%s in", s.Sig.Name, typeSuffix(s.Sig))
+		p.block(s.Body)
+		p.line("end signal")
+	default:
+		p.line("%% unknown node %T", s)
+	}
+}
+
+// Stats summarizes a module's kernel structure; the cost model and the
+// benchmark harness report these.
+type Stats struct {
+	Nodes     int
+	Pauses    int // pause/halt/await nodes (potential control states)
+	Emits     int
+	Assigns   int
+	DataCalls int
+	Pars      int
+	Presents  int
+	IfDatas   int
+	Aborts    int
+	Suspends  int
+	Traps     int
+}
+
+// CollectStats walks the module body and tallies node kinds.
+func CollectStats(m *Module) Stats {
+	var st Stats
+	Walk(m.Body, func(s Stmt) {
+		st.Nodes++
+		switch s.(type) {
+		case *Pause, *Halt, *Await:
+			st.Pauses++
+		case *Emit:
+			st.Emits++
+		case *Assign:
+			st.Assigns++
+		case *DataCall:
+			st.DataCalls++
+		case *Par:
+			st.Pars++
+		case *Present:
+			st.Presents++
+		case *IfData:
+			st.IfDatas++
+		case *Abort:
+			st.Aborts++
+		case *Suspend:
+			st.Suspends++
+		case *Trap:
+			st.Traps++
+		}
+	})
+	return st
+}

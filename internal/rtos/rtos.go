@@ -1,0 +1,173 @@
+// Package rtos simulates the small real-time kernel the paper's
+// asynchronous partitions run under: static priority tasks with
+// run-to-completion reactions, signal delivery through event
+// mailboxes, and cycle accounting that separates task work from
+// kernel overhead (the two execution-time columns of Table 1).
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/cval"
+	"repro/internal/kernel"
+)
+
+// Reaction is the outcome of one task activation.
+type Reaction struct {
+	// Emitted maps emitted signals to values (invalid Value for pure).
+	Emitted map[*kernel.Signal]cval.Value
+	// Depth and Units are the dynamic costs (decision-tree nodes
+	// visited, data work units) of the reaction.
+	Depth int
+	Units int
+}
+
+// Runner is the body of a task: one synchronous reaction over latched
+// inputs.
+type Runner interface {
+	React(inputs map[*kernel.Signal]cval.Value) (*Reaction, error)
+}
+
+// Task is one schedulable activity.
+type Task struct {
+	Name string
+	// Prio is the static priority; lower value runs first.
+	Prio int
+	// Inputs lists the signals that activate the task.
+	Inputs []*kernel.Signal
+	Run    Runner
+
+	inbox map[*kernel.Signal]cval.Value
+	ready bool
+}
+
+// Kernel is the simulated RTOS instance.
+type Kernel struct {
+	Model *cost.Model
+
+	tasks []*Task
+	// subscribers maps each signal to the tasks latching it.
+	subscribers map[*kernel.Signal][]*Task
+
+	// TaskCycles accumulates cycles spent in task code.
+	TaskCycles int64
+	// KernelCycles accumulates cycles spent in the kernel.
+	KernelCycles int64
+	// Switches counts context switches.
+	Switches int64
+	// Activations counts task activations.
+	Activations int64
+
+	// Trace, when non-nil, receives scheduler events.
+	Trace func(format string, args ...interface{})
+}
+
+// New creates a kernel with the given cost model.
+func New(model *cost.Model) *Kernel {
+	return &Kernel{
+		Model:       model,
+		subscribers: make(map[*kernel.Signal][]*Task),
+	}
+}
+
+// AddTask registers a task; its Inputs subscribe it to those signals.
+func (k *Kernel) AddTask(t *Task) {
+	t.inbox = make(map[*kernel.Signal]cval.Value)
+	k.tasks = append(k.tasks, t)
+	for _, sig := range t.Inputs {
+		k.subscribers[sig] = append(k.subscribers[sig], t)
+	}
+}
+
+// Tasks returns the registered tasks.
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+// AddTaskInput subscribes an already registered task to one more
+// signal (used for per-tick trigger wires).
+func (k *Kernel) AddTaskInput(t *Task, sig *kernel.Signal) {
+	t.Inputs = append(t.Inputs, sig)
+	k.subscribers[sig] = append(k.subscribers[sig], t)
+}
+
+// Post delivers a signal occurrence to every subscriber, charging the
+// kernel for each delivery. It is used both by the environment and by
+// tasks' emissions.
+func (k *Kernel) Post(sig *kernel.Signal, val cval.Value) {
+	for _, t := range k.subscribers[sig] {
+		k.KernelCycles += int64(k.Model.EventPost)
+		if val.IsValid() {
+			t.inbox[sig] = val.Clone()
+		} else {
+			t.inbox[sig] = cval.Value{}
+		}
+		if !t.ready {
+			t.ready = true
+		}
+		if k.Trace != nil {
+			k.Trace("post %s -> %s", sig.Name, t.Name)
+		}
+	}
+}
+
+// RunToIdle dispatches ready tasks (highest priority first, FIFO among
+// equals) until none remain, charging scheduler, context-switch, and
+// dispatch overhead. Emissions during a reaction post to subscribers
+// and may ready further tasks. It returns the signals emitted
+// (deduplicated, with last values).
+func (k *Kernel) RunToIdle() (map[*kernel.Signal]cval.Value, error) {
+	emitted := make(map[*kernel.Signal]cval.Value)
+	for {
+		k.KernelCycles += int64(k.Model.SchedulerPass)
+		var next *Task
+		for _, t := range k.tasks {
+			if !t.ready {
+				continue
+			}
+			if next == nil || t.Prio < next.Prio {
+				next = t
+			}
+		}
+		if next == nil {
+			return emitted, nil
+		}
+		next.ready = false
+		inputs := next.inbox
+		next.inbox = make(map[*kernel.Signal]cval.Value)
+
+		k.KernelCycles += int64(k.Model.ContextSwitch + k.Model.TaskDispatch)
+		k.Switches++
+		k.Activations++
+		if k.Trace != nil {
+			k.Trace("dispatch %s (%d inputs)", next.Name, len(inputs))
+		}
+		r, err := next.Run.React(inputs)
+		if err != nil {
+			return emitted, fmt.Errorf("task %s: %w", next.Name, err)
+		}
+		k.TaskCycles += int64(k.Model.ReactionCycles(r.Depth, r.Units))
+		for sig, val := range r.Emitted {
+			emitted[sig] = val
+			k.Post(sig, val)
+		}
+	}
+}
+
+// Tick charges the kernel's per-tick housekeeping (timer interrupt).
+func (k *Kernel) Tick() {
+	k.KernelCycles += int64(k.Model.IdleTick)
+}
+
+// ReadyAll marks every task ready, as the kernel does at startup so
+// each task runs its initialization (boot) reaction.
+func (k *Kernel) ReadyAll() {
+	for _, t := range k.tasks {
+		t.ready = true
+	}
+}
+
+// ResetCounters zeroes the cycle accounting (used after boot so the
+// measurements cover steady state only).
+func (k *Kernel) ResetCounters() {
+	k.TaskCycles, k.KernelCycles, k.Switches, k.Activations = 0, 0, 0, 0
+}

@@ -1,0 +1,388 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ctypes"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/source"
+)
+
+func analyze(t *testing.T, src string) (*Info, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("test.ecl", src))
+	f := parser.ParseFile(expanded, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	info := Analyze(f, &diags)
+	return info, &diags
+}
+
+func analyzeOK(t *testing.T, src string) *Info {
+	t.Helper()
+	info, diags := analyze(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected sem errors:\n%s", diags.String())
+	}
+	return info
+}
+
+func analyzeErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, diags := analyze(t, src)
+	if !diags.HasErrors() {
+		t.Fatalf("expected error containing %q, got none", wantSubstr)
+	}
+	if !strings.Contains(diags.String(), wantSubstr) {
+		t.Fatalf("expected error containing %q, got:\n%s", wantSubstr, diags.String())
+	}
+}
+
+func TestStackAnalyzes(t *testing.T) {
+	info := analyzeOK(t, paperex.Stack)
+	for _, name := range []string{"assemble", "checkcrc", "prochdr", "toplevel"} {
+		if info.Modules[name] == nil {
+			t.Errorf("module %q missing", name)
+		}
+	}
+}
+
+func TestBufferAnalyzes(t *testing.T) {
+	analyzeOK(t, paperex.Buffer)
+}
+
+func TestABROAnalyzes(t *testing.T) {
+	analyzeOK(t, paperex.ABRO)
+}
+
+func TestRunnerAnalyzes(t *testing.T) {
+	analyzeOK(t, paperex.RunnerStop)
+}
+
+func TestPacketLayout(t *testing.T) {
+	info := analyzeOK(t, paperex.Stack)
+	pt, ok := info.Types["packet_t"].(*ctypes.StructType)
+	if !ok {
+		t.Fatalf("packet_t is %T", info.Types["packet_t"])
+	}
+	if !pt.Union {
+		t.Error("packet_t should be a union")
+	}
+	if pt.Size() != paperex.PktSize {
+		t.Errorf("sizeof(packet_t) = %d, want %d", pt.Size(), paperex.PktSize)
+	}
+	v2, ok := info.Types["packet_view_2_t"].(*ctypes.StructType)
+	if !ok {
+		t.Fatal("packet_view_2_t missing")
+	}
+	crc := v2.Field("crc")
+	if crc == nil || crc.Offset != paperex.HdrSize+paperex.DataSize {
+		t.Errorf("crc field offset = %+v, want %d", crc, paperex.HdrSize+paperex.DataSize)
+	}
+}
+
+func TestStructPadding(t *testing.T) {
+	info := analyzeOK(t, `
+        typedef struct { char c; int i; char d; } padded_t;
+        module m(input pure a, output pure o) { await(a); emit(o); }
+    `)
+	st := info.Types["padded_t"].(*ctypes.StructType)
+	if st.Size() != 12 {
+		t.Errorf("size = %d, want 12 (1+3pad+4+1+3pad)", st.Size())
+	}
+	if f := st.Field("i"); f.Offset != 4 {
+		t.Errorf("offset of i = %d, want 4", f.Offset)
+	}
+}
+
+func TestMayHaltClassification(t *testing.T) {
+	info := analyzeOK(t, paperex.Stack)
+	m := info.Modules["checkcrc"]
+	// Find the CRC for loop: it must be a data loop (no halting inside).
+	var crcFor *ast.For
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.While:
+			walk(s.Body)
+		case *ast.For:
+			crcFor = s
+			walk(s.Body)
+		case *ast.DoPreempt:
+			walk(s.Body)
+		}
+	}
+	walk(m.Decl.Body)
+	if crcFor == nil {
+		t.Fatal("no for loop in checkcrc")
+	}
+	if info.MayHalt[crcFor] {
+		t.Error("checkcrc's CRC loop must be a data loop (MayHalt=false)")
+	}
+
+	// assemble's byte loop awaits: it is reactive.
+	ma := info.Modules["assemble"]
+	crcFor = nil
+	walk(ma.Decl.Body)
+	if crcFor == nil {
+		t.Fatal("no for loop in assemble")
+	}
+	if !info.MayHalt[crcFor] {
+		t.Error("assemble's byte loop must be reactive (MayHalt=true)")
+	}
+}
+
+func TestSignalValueOverloading(t *testing.T) {
+	// in_byte used as a value after await: must type as byte (uchar).
+	info := analyzeOK(t, paperex.Header+paperex.Assemble)
+	found := false
+	for e, ty := range info.ExprType {
+		if id, ok := e.(*ast.Ident); ok && id.Name == "in_byte" {
+			if !ctypes.Identical(ty, ctypes.UChar) {
+				t.Errorf("value type of in_byte = %s, want unsigned char", ty)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no value use of in_byte recorded")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	mod := func(body string) string {
+		return paperex.Header + "module m(input pure a, input byte vb, output pure o, output bool vo) {\n" + body + "\n}"
+	}
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"emit input", mod("emit(a);"), "cannot emit input"},
+		{"emit_v pure", mod("emit_v(o, 1);"), "emit_v on pure"},
+		{"emit valued", mod("emit(vo);"), "requires emit_v"},
+		{"pure value use", mod("int x; x = a; emit(o);"), "has no value"},
+		{"assign to signal", mod("vb = 3; emit(o);"), "cannot assign to signal"},
+		{"bad sigexpr op", mod("await (a + vb); emit(o);"), "not allowed in signal expression"},
+		{"sigexpr non-signal", mod("int x; await (x); emit(o);"), "is not a signal"},
+		{"undefined signal", mod("emit(nosuch);"), "undefined signal"},
+		{"return in module", mod("return; emit(o);"), "return is not allowed in a module"},
+		{"break outside loop", mod("break; emit(o);"), "outside loop"},
+		{"global var", "int g;\nmodule m(input pure a, output pure o){await(a);emit(o);}", "global variable"},
+		{"void signal param", "module m(input void v, output pure o){emit(o);}", "cannot carry void"},
+		{"redeclared", mod("int x; int x; emit(o);"), "redeclared"},
+		{"bad field", mod("packet_t p; int x; x = p.nosuch; emit(o);"), "no field"},
+		{"index non-array", mod("int x; x = x[0]; emit(o);"), "cannot index"},
+		{"struct condition", mod("packet_t p; if (p) emit(o);"), "must be scalar"},
+		{"suspend-no-halt-warn-ok", mod("do { emit(o); } suspend (a); await(a);"), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.want == "" {
+				analyzeOK(t, c.src)
+				return
+			}
+			analyzeErr(t, c.src, c.want)
+		})
+	}
+}
+
+func TestFunctionChecks(t *testing.T) {
+	analyzeErr(t, `
+        int f(int x) { emit(x); return x; }
+        module m(input pure a, output pure o) { await(a); emit(o); }
+    `, "is not a signal")
+
+	analyzeErr(t, `
+        int f(int x) { await(); return x; }
+        module m(input pure a, output pure o) { await(a); emit(o); }
+    `, "only modules may react")
+
+	info := analyzeOK(t, `
+        int add2(int a, int b) { return a + b; }
+        module m(input pure a, output pure o) {
+            int x;
+            x = add2(1, 2);
+            while (1) { await(a); if (x == 3) emit(o); }
+        }
+    `)
+	if info.Funcs["add2"] == nil {
+		t.Error("add2 missing")
+	}
+}
+
+func TestFunctionArity(t *testing.T) {
+	analyzeErr(t, `
+        int add2(int a, int b) { return a + b; }
+        module m(input pure a, output pure o) {
+            int x; x = add2(1); await(a); emit(o);
+        }
+    `, "expects 2 arguments")
+}
+
+func TestModuleInstantiationChecks(t *testing.T) {
+	analyzeErr(t, `
+        module child(input pure i, output pure done) { await(i); emit(done); }
+        module top(input pure go, output pure done) {
+            child(go);
+        }
+    `, "expects 2 signals")
+
+	analyzeErr(t, `
+        module child(input pure i, output pure done) { await(i); emit(done); }
+        module top(input pure go, output pure done) {
+            child(go, go);
+        }
+    `, "cannot connect output parameter")
+
+	analyzeErr(t, paperex.Header+`
+        module child(input byte b, output pure done) { await(b); emit(done); }
+        module top(input pure go, output pure done) {
+            child(go, done);
+        }
+    `, "is pure but parameter")
+
+	analyzeOK(t, `
+        module child(input pure i, output pure done) { await(i); emit(done); }
+        module top(input pure go, output pure done) {
+            child(go, done);
+        }
+    `)
+}
+
+func TestRecursiveInstantiation(t *testing.T) {
+	analyzeErr(t, `
+        module a(input pure i, output pure o) { b(i, o); }
+        module b(input pure i, output pure o) { a(i, o); }
+    `, "recursive module instantiation")
+}
+
+func TestConstEval(t *testing.T) {
+	info := analyzeOK(t, paperex.Stack)
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"1<<4", 16},
+		{"0x10", 16},
+		{"010", 8},
+		{"'A'", 65},
+		{"~0", -1},
+		{"!3", 0},
+		{"-5", -5},
+		{"10/3", 3},
+		{"10%3", 1},
+		{"1<2", 1},
+		{"4>=5", 0},
+		{"1&&0", 0},
+		{"1||0", 1},
+	}
+	for _, c := range cases {
+		var diags source.DiagList
+		f := parser.ParseFile(source.NewFile("e.ecl", "module m(input pure a, output pure o){int x; x = "+c.src+"; emit(o);}"), &diags)
+		if diags.HasErrors() {
+			t.Fatalf("%q: %s", c.src, diags.String())
+		}
+		var expr ast.Expr
+		m := f.Module("m")
+		for _, s := range m.Body.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if as, ok := es.X.(*ast.Assign); ok {
+					expr = as.RHS
+				}
+			}
+		}
+		got, ok := info.ConstEval(expr)
+		if !ok {
+			t.Errorf("%q: not constant", c.src)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTildeOnBool(t *testing.T) {
+	info := analyzeOK(t, `
+        module m(input bool v, output pure o) {
+            while (1) {
+                await (v);
+                if (~v) emit(o);
+            }
+        }
+    `)
+	// find the unary ~ expression and check it types as bool
+	found := false
+	for e, ty := range info.ExprType {
+		if u, ok := e.(*ast.Unary); ok {
+			_ = u
+			if ty == ctypes.Bool {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("~v on bool should type as bool (logical negation)")
+	}
+}
+
+func TestEnumDecl(t *testing.T) {
+	info := analyzeOK(t, `
+        typedef enum { IDLE, BUSY = 5, DONE } state_t;
+        module m(input pure a, output pure o) {
+            state_t s;
+            s = IDLE;
+            while (1) { await(a); if (s == DONE) emit(o); s = BUSY; }
+        }
+    `)
+	if c := info.Consts["BUSY"]; c == nil || c.Value != 5 {
+		t.Errorf("BUSY = %+v, want 5", c)
+	}
+	if c := info.Consts["DONE"]; c == nil || c.Value != 6 {
+		t.Errorf("DONE = %+v, want 6", c)
+	}
+}
+
+func TestArrayCastIdiom(t *testing.T) {
+	// Figure 2's "crc == (int) inpkt.cooked.crc" idiom must type-check.
+	analyzeOK(t, paperex.Header+paperex.CheckCRC)
+}
+
+func TestVarMangledUnique(t *testing.T) {
+	info := analyzeOK(t, `
+        module m(input pure a, output pure o) {
+            int x;
+            { int x; x = 1; }
+            x = 2;
+            await(a); emit(o);
+        }
+    `)
+	m := info.Modules["m"]
+	if len(m.Vars) != 2 {
+		t.Fatalf("got %d vars, want 2", len(m.Vars))
+	}
+	if m.Vars[0].Mangled == m.Vars[1].Mangled {
+		t.Error("mangled names must be unique")
+	}
+}
+
+func TestInstantiatesRecorded(t *testing.T) {
+	info := analyzeOK(t, paperex.Stack)
+	top := info.Modules["toplevel"]
+	if len(top.Instantiates) != 3 {
+		t.Errorf("toplevel instantiates %v, want 3 modules", top.Instantiates)
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+func TestTopInstances(t *testing.T) {
+	info, err := AnalyzeSource("stack.ecl", paperex.Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := TopInstances(info, "toplevel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 3 {
+		t.Fatalf("got %d instances, want 3", len(insts))
+	}
+	if insts[0].Module != "assemble" || insts[1].Module != "checkcrc" || insts[2].Module != "prochdr" {
+		t.Errorf("instances: %+v", insts)
+	}
+	if len(insts[2].Args) != 4 || insts[2].Args[0] != "reset" || insts[2].Args[2] != "packet" {
+		t.Errorf("prochdr args: %v", insts[2].Args)
+	}
+}
+
+func TestStackSyncBehaviour(t *testing.T) {
+	info, err := AnalyzeSource("stack.ecl", paperex.Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildSync(info, "toplevel", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStack(sys, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddrMatches != res.GoodPackets {
+		t.Errorf("sync: %d matches for %d good packets", res.AddrMatches, res.GoodPackets)
+	}
+}
+
+func TestStackAsyncBehaviour(t *testing.T) {
+	info, err := AnalyzeSource("stack.ecl", paperex.Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildAsync(info, "toplevel", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStack(sys, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddrMatches != res.GoodPackets {
+		t.Errorf("async: %d matches for %d good packets", res.AddrMatches, res.GoodPackets)
+	}
+	m := sys.Metrics()
+	if m.Tasks != 3 {
+		t.Errorf("tasks = %d, want 3", m.Tasks)
+	}
+	if m.KernelCycles == 0 || m.TaskCycles == 0 {
+		t.Error("cycle accounting missing")
+	}
+}
+
+func TestBufferBothPartitions(t *testing.T) {
+	info, err := AnalyzeSource("buffer.ecl", paperex.Buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"sync", "async"} {
+		var sys System
+		if mode == "sync" {
+			sys, err = BuildSync(info, "bufferctl", Config{})
+		} else {
+			sys, err = BuildAsync(info, "bufferctl", Config{})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		res, err := RunBuffer(sys, 2, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.SpkSamples == 0 {
+			t.Errorf("%s: no playback output", mode)
+		}
+	}
+}
+
+// TestSyncAsyncAgreeOnStack checks that both partitions produce the
+// same number of address matches (the designer's obligation in the
+// paper: "all the resulting variants of behavior are equally good").
+func TestSyncAsyncAgreeOnStack(t *testing.T) {
+	info, err := AnalyzeSource("stack.ecl", paperex.Stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncSys, err := BuildSync(info, "toplevel", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncSys, err := BuildAsync(info, "toplevel", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunStack(syncSys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RunStack(asyncSys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.AddrMatches != ra.AddrMatches {
+		t.Errorf("sync %d matches, async %d matches", rs.AddrMatches, ra.AddrMatches)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	cfg := DefaultTable1Config()
+	cfg.Packets = 6
+	cfg.Messages = 1
+	cfg.SamplesPerMessage = 16
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	text := FormatTable1(rows)
+	if text == "" {
+		t.Error("empty table")
+	}
+	t.Logf("\n%s", text)
+
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		byKey[r.Example+"/"+r.Partition] = r
+	}
+	// Paper shape 1: async partitions carry more total memory.
+	if byKey["Stack/3 tasks"].Total() <= byKey["Stack/1 task"].Total() {
+		t.Errorf("stack: async total memory %d should exceed sync %d",
+			byKey["Stack/3 tasks"].Total(), byKey["Stack/1 task"].Total())
+	}
+	// Paper shape 2: buffer sync task code exceeds async task code
+	// (product-machine growth).
+	if byKey["Buffer/1 task"].TaskCode <= byKey["Buffer/3 tasks"].TaskCode {
+		t.Errorf("buffer: sync code %d should exceed async code %d",
+			byKey["Buffer/1 task"].TaskCode, byKey["Buffer/3 tasks"].TaskCode)
+	}
+	// Paper shape 3: RTOS cycles grow with task count.
+	if byKey["Stack/3 tasks"].RTOSKCycles <= byKey["Stack/1 task"].RTOSKCycles {
+		t.Errorf("stack: async RTOS cycles %.0f should exceed sync %.0f",
+			byKey["Stack/3 tasks"].RTOSKCycles, byKey["Stack/1 task"].RTOSKCycles)
+	}
+	if byKey["Buffer/3 tasks"].RTOSKCycles <= byKey["Buffer/1 task"].RTOSKCycles {
+		t.Errorf("buffer: async RTOS cycles should exceed sync")
+	}
+}

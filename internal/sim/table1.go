@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Example   string
+	Partition string // "1 task" or "3 tasks"
+	TaskCode  int
+	TaskData  int
+	RTOSCode  int
+	RTOSData  int
+	// Execution time in thousands of cycles (the paper's unit).
+	TaskKCycles float64
+	RTOSKCycles float64
+	States      int
+}
+
+// Total returns code+data+RTOS memory.
+func (r Table1Row) Total() int { return r.TaskCode + r.TaskData + r.RTOSCode + r.RTOSData }
+
+// TotalKCycles returns task+RTOS execution time.
+func (r Table1Row) TotalKCycles() float64 { return r.TaskKCycles + r.RTOSKCycles }
+
+// AnalyzeSource runs the ECL front end over source text.
+func AnalyzeSource(name, src string) (*sem.Info, error) {
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile(name, src))
+	f := parser.ParseFile(expanded, &diags)
+	if diags.HasErrors() {
+		return nil, diags.Err()
+	}
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		return nil, diags.Err()
+	}
+	return info, nil
+}
+
+// Table1Config sizes the workloads. The paper used 500 packets for the
+// stack; the buffer scenario is sized to a few voice messages.
+type Table1Config struct {
+	Packets           int
+	Messages          int
+	SamplesPerMessage int
+	Policy            lower.Policy
+	Model             *cost.Model
+}
+
+// DefaultTable1Config mirrors the paper's testbench (500 packets).
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		Packets:           500,
+		Messages:          8,
+		SamplesPerMessage: 48,
+	}
+}
+
+// Table1 rebuilds the paper's Table 1: both examples, both partitions,
+// memory and execution time.
+func Table1(cfg Table1Config) ([]Table1Row, error) {
+	var rows []Table1Row
+
+	stackInfo, err := AnalyzeSource("stack.ecl", paperex.Stack)
+	if err != nil {
+		return nil, fmt.Errorf("stack front end: %w", err)
+	}
+	simCfg := Config{Policy: cfg.Policy, Model: cfg.Model}
+
+	for _, partition := range []string{"1 task", "3 tasks"} {
+		var sys System
+		if partition == "1 task" {
+			sys, err = BuildSync(stackInfo, "toplevel", simCfg)
+		} else {
+			sys, err = BuildAsync(stackInfo, "toplevel", simCfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stack %s: %w", partition, err)
+		}
+		res, err := RunStack(sys, cfg.Packets)
+		if err != nil {
+			return nil, fmt.Errorf("stack %s run: %w", partition, err)
+		}
+		if res.AddrMatches != res.GoodPackets {
+			return nil, fmt.Errorf("stack %s: %d addr_match for %d good packets (behavior broken)",
+				partition, res.AddrMatches, res.GoodPackets)
+		}
+		rows = append(rows, rowFrom("Stack", partition, sys.Metrics()))
+	}
+
+	bufInfo, err := AnalyzeSource("buffer.ecl", paperex.Buffer)
+	if err != nil {
+		return nil, fmt.Errorf("buffer front end: %w", err)
+	}
+	for _, partition := range []string{"1 task", "3 tasks"} {
+		var sys System
+		if partition == "1 task" {
+			sys, err = BuildSync(bufInfo, "bufferctl", simCfg)
+		} else {
+			sys, err = BuildAsync(bufInfo, "bufferctl", simCfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("buffer %s: %w", partition, err)
+		}
+		res, err := RunBuffer(sys, cfg.Messages, cfg.SamplesPerMessage)
+		if err != nil {
+			return nil, fmt.Errorf("buffer %s run: %w", partition, err)
+		}
+		if res.SpkSamples == 0 {
+			return nil, fmt.Errorf("buffer %s: playback produced no samples (behavior broken)", partition)
+		}
+		rows = append(rows, rowFrom("Buffer", partition, sys.Metrics()))
+	}
+	return rows, nil
+}
+
+func rowFrom(example, partition string, m Metrics) Table1Row {
+	return Table1Row{
+		Example:     example,
+		Partition:   partition,
+		TaskCode:    m.TaskImage.CodeBytes,
+		TaskData:    m.TaskImage.DataBytes,
+		RTOSCode:    m.RTOSImage.CodeBytes,
+		RTOSData:    m.RTOSImage.DataBytes,
+		TaskKCycles: float64(m.TaskCycles) / 1000,
+		RTOSKCycles: float64(m.KernelCycles) / 1000,
+		States:      m.States,
+	}
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s | %10s %10s %10s %10s | %12s %12s\n",
+		"Example", "Part.", "Task code", "Task data", "RTOS code", "RTOS data", "Tasks kcyc", "RTOS kcyc")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 102))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s | %10d %10d %10d %10d | %12.0f %12.0f\n",
+			r.Example, r.Partition, r.TaskCode, r.TaskData, r.RTOSCode, r.RTOSData,
+			r.TaskKCycles, r.RTOSKCycles)
+	}
+	return b.String()
+}

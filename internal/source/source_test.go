@@ -1,0 +1,80 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositions(t *testing.T) {
+	f := NewFile("a.ecl", "abc\ndef\n\nx")
+	cases := []struct {
+		off, line, col int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {4, 2, 1}, {6, 2, 3}, {8, 3, 1}, {9, 4, 1},
+	}
+	for _, c := range cases {
+		p := f.Pos(c.off)
+		if p.Line() != c.line || p.Column() != c.col {
+			t.Errorf("offset %d: %d:%d, want %d:%d", c.off, p.Line(), p.Column(), c.line, c.col)
+		}
+	}
+	if f.NumLines() != 4 {
+		t.Errorf("lines = %d, want 4", f.NumLines())
+	}
+}
+
+func TestLineText(t *testing.T) {
+	f := NewFile("a.ecl", "abc\ndef")
+	if f.LineText(1) != "abc" || f.LineText(2) != "def" || f.LineText(3) != "" {
+		t.Errorf("line texts: %q %q %q", f.LineText(1), f.LineText(2), f.LineText(3))
+	}
+}
+
+func TestPosString(t *testing.T) {
+	f := NewFile("a.ecl", "x")
+	if got := f.Pos(0).String(); got != "a.ecl:1:1" {
+		t.Errorf("got %q", got)
+	}
+	var zero Pos
+	if zero.IsValid() || zero.String() != "<unknown>" {
+		t.Error("zero Pos should be invalid")
+	}
+}
+
+func TestDiagList(t *testing.T) {
+	var l DiagList
+	f := NewFile("a.ecl", "x")
+	l.Warnf(f.Pos(0), "minor %d", 1)
+	if l.HasErrors() {
+		t.Error("warning counted as error")
+	}
+	l.Errorf(f.Pos(0), "boom %s", "here")
+	l.Notef(f.Pos(0), "see also")
+	if !l.HasErrors() || l.NumErrors() != 1 {
+		t.Errorf("errors = %d", l.NumErrors())
+	}
+	if err := l.Err(); err == nil || !strings.Contains(err.Error(), "boom here") {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(l.String(), "warning: minor 1") {
+		t.Errorf("list rendering: %q", l.String())
+	}
+}
+
+func TestDiagErrorTruncation(t *testing.T) {
+	var l DiagList
+	f := NewFile("a.ecl", "x")
+	for i := 0; i < 15; i++ {
+		l.Errorf(f.Pos(0), "e%d", i)
+	}
+	msg := l.Err().Error()
+	if !strings.Contains(msg, "and more errors") {
+		t.Error("long error lists should truncate")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Note.String() != "note" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Error("severity names wrong")
+	}
+}
