@@ -13,10 +13,12 @@
 package ecl
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/efsm"
 	"repro/internal/lower"
 	"repro/internal/paperex"
@@ -290,6 +292,88 @@ func BenchmarkAblationMinimizeStack(b *testing.B) {
 	}
 	b.ReportMetric(float64(before), "states-before")
 	b.ReportMetric(float64(after), "states-after")
+}
+
+// ---------------------------------------------------------------------------
+// Batch compilation: the driver over the whole paper-example corpus
+
+// corpusRequests builds one request per module of the paper-example
+// corpus (every module of the protocol stack and the audio buffer
+// controller, plus ABRO and the weak-abort runner): 10 modules total.
+func corpusRequests(b *testing.B) []driver.Request {
+	b.Helper()
+	var reqs []driver.Request
+	for _, f := range []struct{ path, src string }{
+		{"stack.ecl", paperex.Stack},
+		{"buffer.ecl", paperex.Buffer},
+	} {
+		expanded, err := driver.ExpandModules(driver.Request{
+			Path: f.path, Source: f.src,
+			Targets: []driver.Target{driver.TargetEsterel, driver.TargetC, driver.TargetGlue},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, expanded...)
+	}
+	reqs = append(reqs,
+		driver.Request{Path: "abro.ecl", Source: paperex.ABRO,
+			Targets: []driver.Target{driver.TargetEsterel, driver.TargetC, driver.TargetGlue}},
+		driver.Request{Path: "runner.ecl", Source: paperex.RunnerStop,
+			Targets: []driver.Target{driver.TargetEsterel, driver.TargetC, driver.TargetGlue}},
+	)
+	return reqs
+}
+
+// benchBatch compiles the corpus cold each iteration (cache disabled)
+// with the given worker-pool width.
+func benchBatch(b *testing.B, workers int) {
+	reqs := corpusRequests(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := &driver.Driver{Workers: workers, NoCache: true}
+		results, err := d.Build(ctx, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(reqs) {
+			b.Fatalf("results = %d", len(results))
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "modules")
+}
+
+// BenchmarkBatchSequential compiles the corpus one module at a time —
+// the old eclc-in-a-loop baseline.
+func BenchmarkBatchSequential(b *testing.B) { benchBatch(b, 1) }
+
+// BenchmarkBatchConcurrent compiles the corpus over an 8-wide worker
+// pool. The speedup over BenchmarkBatchSequential tracks available
+// cores up to the corpus's parallelism (the critical path is the
+// toplevel stack module); on a single-CPU host the two tie, and the
+// cached-rebuild benchmark below is the one to watch.
+func BenchmarkBatchConcurrent(b *testing.B) { benchBatch(b, 8) }
+
+// BenchmarkBatchCachedRebuild rebuilds an unchanged corpus against a
+// warm driver: every design is a content-hash cache hit, so this
+// measures the driver's no-op rebuild floor.
+func BenchmarkBatchCachedRebuild(b *testing.B) {
+	reqs := corpusRequests(b)
+	ctx := context.Background()
+	d := driver.New(0)
+	if _, err := d.Build(ctx, reqs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Build(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, _ := d.CacheStats()
+	b.ReportMetric(float64(hits)/float64(b.N), "cache-hits/op")
 }
 
 // ---------------------------------------------------------------------------

@@ -9,11 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/paperex"
 	"repro/internal/sim"
 )
@@ -60,19 +61,24 @@ func figureStats() {
 		{"Figure 3", "prochdr", paperex.Header + paperex.ProcHdr},
 		{"Figure 4", "toplevel", paperex.Stack},
 	}
-	for _, c := range cases {
-		prog, err := core.Parse(c.module+".ecl", c.src, core.Options{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", c.fig, err)
+	reqs := make([]driver.Request, len(cases))
+	for i, c := range cases {
+		reqs[i] = driver.Request{
+			Path:    c.module + ".ecl",
+			Source:  c.src,
+			Module:  c.module,
+			Targets: []driver.Target{driver.TargetStats},
+		}
+	}
+	// All four figures compile concurrently over the driver's pool.
+	results, _ := driver.New(0).Build(context.Background(), reqs)
+	for i, res := range results {
+		if res.Failed() {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", cases[i].fig, res.Err)
 			continue
 		}
-		design, err := prog.Compile(c.module)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", c.fig, err)
-			continue
-		}
-		st := design.Stats()
+		st := *res.Stats
 		fmt.Printf("  %s (%s): %d EFSM states, %d transitions, %d data funcs, est. %d code bytes\n",
-			c.fig, c.module, st.EFSM.States, st.EFSM.Leaves, st.DataFuncs, st.Image.CodeBytes)
+			cases[i].fig, res.Module, st.EFSM.States, st.EFSM.Leaves, st.DataFuncs, st.Image.CodeBytes)
 	}
 }

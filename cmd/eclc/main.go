@@ -1,11 +1,16 @@
-// Command eclc is the ECL compiler driver: it reads an ECL source
-// file, compiles one module, and writes the requested artifacts —
+// Command eclc is the ECL compiler driver: it reads ECL source files,
+// compiles their modules, and writes the requested artifacts —
 // mirroring the paper's flow (split to Esterel + C + glue, compile to
 // an EFSM, synthesize software or hardware).
 //
 // Usage:
 //
-//	eclc [-module name] [-policy maximal|minimal] [-target list] [-o dir] file.ecl
+//	eclc [flags] file.ecl [file2.ecl ... | dir]
+//
+// With a single file and no -module flag, eclc compiles the last
+// module in the file (the historical behavior). With several files, a
+// directory, or -all, it batch-compiles every module of every input
+// concurrently over internal/driver's worker pool.
 //
 // Targets (comma separated): esterel, c, go, glue, dot, verilog, vhdl,
 // stats. Default: esterel,c,glue,stats written to the output directory
@@ -13,35 +18,41 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/lower"
 )
 
 func main() {
-	module := flag.String("module", "", "module to compile (default: last module in the file)")
+	module := flag.String("module", "", "module to compile (default: last module per file, or every module in batch mode)")
+	all := flag.Bool("all", false, "compile every module of every input file")
 	policy := flag.String("policy", "maximal", "splitter policy: maximal or minimal")
 	target := flag.String("target", "esterel,c,glue,stats", "comma-separated targets: esterel,c,go,glue,dot,verilog,vhdl,stats")
 	outDir := flag.String("o", ".", "output directory")
 	minimize := flag.Bool("minimize", false, "minimize the EFSM before synthesis")
+	jobs := flag.Int("jobs", 0, "max concurrent module builds (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eclc [flags] file.ecl")
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: eclc [flags] file.ecl [file2.ecl ... | dir]")
 		flag.Usage()
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
+
+	targets, err := driver.ParseTargets(*target)
 	if err != nil {
 		fatal(err)
 	}
-
 	opts := core.Options{Minimize: *minimize}
 	switch *policy {
 	case "maximal":
@@ -52,75 +63,117 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	prog, err := core.Parse(filepath.Base(path), string(src), opts)
+	paths, sawDir, err := collectInputs(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
-	mod := *module
-	if mod == "" {
-		mods := prog.Modules()
-		if len(mods) == 0 {
-			fatal(fmt.Errorf("no modules in %s", path))
+	batch := *all || sawDir || len(paths) > 1
+	perFile := make([][]driver.Request, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		seed := driver.Request{Path: path, Module: *module, Targets: targets, Options: opts}
+		if *module != "" || !batch {
+			perFile[i] = []driver.Request{seed}
+			continue
 		}
-		mod = mods[len(mods)-1]
+		// Expand each file's module list concurrently (it costs a
+		// front-end pass per file). A file that fails to expand (e.g.
+		// a parse error) still joins the batch unexpanded: the driver
+		// reports it as a structured failure while the other files
+		// compile.
+		wg.Add(1)
+		go func(i int, seed driver.Request) {
+			defer wg.Done()
+			if expanded, err := driver.ExpandModules(seed); err == nil {
+				perFile[i] = expanded
+			} else {
+				perFile[i] = []driver.Request{seed}
+			}
+		}(i, seed)
 	}
-	design, err := prog.Compile(mod)
-	if err != nil {
-		fatal(err)
+	wg.Wait()
+	var reqs []driver.Request
+	for _, rs := range perFile {
+		reqs = append(reqs, rs...)
 	}
 
-	base := filepath.Join(*outDir, mod)
-	for _, t := range strings.Split(*target, ",") {
-		switch strings.TrimSpace(t) {
-		case "esterel":
-			write(base+".strl", design.EsterelText())
-		case "c":
-			write(base+".c", design.CText())
-		case "go":
-			text, err := design.GoText(mod)
-			if err != nil {
-				fatal(err)
+	d := driver.New(*jobs)
+	results, _ := d.Build(context.Background(), reqs)
+
+	failed := false
+	writtenBy := map[string]string{} // output path -> source file
+	for i := range results {
+		res := &results[i]
+		if res.Failed() {
+			failed = true
+			if len(res.Diags) == 0 {
+				fmt.Fprintf(os.Stderr, "eclc: %s: %v\n", res.Path, res.Err)
 			}
-			write(base+"_gen.go", text)
-		case "glue":
-			write(base+"_glue.h", design.GlueText())
-		case "dot":
-			write(base+".dot", design.DotText())
-		case "verilog":
-			text, err := design.VerilogText()
-			if err != nil {
-				fatal(err)
+			for _, diag := range res.Diags {
+				fmt.Fprintf(os.Stderr, "eclc: %s\n", diag)
 			}
-			write(base+".v", text)
-		case "vhdl":
-			text, err := design.VHDLText()
-			if err != nil {
-				fatal(err)
-			}
-			write(base+".vhd", text)
-		case "stats":
-			st := design.Stats()
-			fmt.Printf("module %s (policy %s):\n", mod, opts.Policy)
-			fmt.Printf("  kernel nodes:   %d (pauses %d, emits %d, pars %d, aborts %d)\n",
-				st.KernelStats.Nodes, st.KernelStats.Pauses, st.KernelStats.Emits,
-				st.KernelStats.Pars, st.KernelStats.Aborts)
-			fmt.Printf("  data functions: %d\n", st.DataFuncs)
-			fmt.Printf("  EFSM:           %d states, %d transitions, %d tree nodes\n",
-				st.EFSM.States, st.EFSM.Leaves, st.EFSM.TreeNodes)
-			fmt.Printf("  image estimate: %d code bytes, %d data bytes (MIPS R3000)\n",
-				st.Image.CodeBytes, st.Image.DataBytes)
-		case "":
-		default:
-			fatal(fmt.Errorf("unknown target %q", t))
+			continue
 		}
+		for _, t := range targets {
+			text := res.Artifacts[t]
+			if t == driver.TargetStats {
+				fmt.Print(text)
+				continue
+			}
+			out := filepath.Join(*outDir, t.Filename(res.Module))
+			if prev, clash := writtenBy[out]; clash {
+				failed = true
+				fmt.Fprintf(os.Stderr,
+					"eclc: %s: module %s collides with module of the same name in %s (both write %s); use separate -o directories\n",
+					res.Path, res.Module, prev, out)
+				break
+			}
+			writtenBy[out] = res.Path
+			if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func write(path, content string) {
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		fatal(err)
+// collectInputs expands directory arguments into their .ecl files
+// (sorted), keeping plain files as given, and reports whether any
+// argument was a directory (which switches eclc into batch mode).
+func collectInputs(args []string) (paths []string, sawDir bool, err error) {
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, false, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		sawDir = true
+		var found []string
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".ecl") {
+				found = append(found, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if len(found) == 0 {
+			return nil, false, fmt.Errorf("no .ecl files under %s", arg)
+		}
+		sort.Strings(found)
+		paths = append(paths, found...)
 	}
-	fmt.Printf("wrote %s\n", path)
+	return paths, sawDir, nil
 }
 
 func fatal(err error) {

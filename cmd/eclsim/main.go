@@ -17,13 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/cval"
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/kernel"
 )
@@ -40,23 +39,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	res := driver.New(1).BuildOne(driver.Request{Path: flag.Arg(0), Module: *module})
+	if res.Failed() {
+		for _, diag := range res.Diags {
+			fmt.Fprintf(os.Stderr, "eclsim: %s\n", diag)
+		}
+		os.Exit(1)
 	}
-	prog, err := core.Parse(filepath.Base(flag.Arg(0)), string(src), core.Options{})
-	if err != nil {
-		fatal(err)
-	}
-	mod := *module
-	if mod == "" {
-		mods := prog.Modules()
-		mod = mods[len(mods)-1]
-	}
-	design, err := prog.Compile(mod)
-	if err != nil {
-		fatal(err)
-	}
+	design := res.Design
 
 	var lines []string
 	if *script != "" {

@@ -30,8 +30,10 @@ package ecl
 
 import (
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/lower"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 // Options configures a compilation; see core.Options.
@@ -60,6 +62,71 @@ const (
 // Parse preprocesses, parses, and analyzes ECL source text.
 func Parse(name, src string, opts Options) (*Program, error) {
 	return core.Parse(name, src, opts)
+}
+
+// Driver orchestrates batch compilation: many modules at once over a
+// bounded worker pool, with content-hash cached designs and structured
+// diagnostics. It is the entry point the eclc/eclsim/eclbench commands
+// share; library users get it here unchanged.
+type Driver = driver.Driver
+
+// BuildRequest asks a Driver for one module compiled to a target set.
+type BuildRequest = driver.Request
+
+// BuildResult reports one BuildRequest's outcome.
+type BuildResult = driver.Result
+
+// BuildDiagnostic is a structured build message (file/module/phase).
+type BuildDiagnostic = driver.Diagnostic
+
+// Severity grades a BuildDiagnostic.
+type Severity = source.Severity
+
+// Diagnostic severities.
+const (
+	SeverityNote    = source.Note
+	SeverityWarning = source.Warning
+	SeverityError   = source.Error
+)
+
+// Target names an artifact the driver can emit.
+type Target = driver.Target
+
+// Phase names the pipeline stage a diagnostic originated in.
+type Phase = driver.Phase
+
+// Artifact targets.
+const (
+	TargetEsterel = driver.TargetEsterel
+	TargetC       = driver.TargetC
+	TargetGo      = driver.TargetGo
+	TargetGlue    = driver.TargetGlue
+	TargetDot     = driver.TargetDot
+	TargetVerilog = driver.TargetVerilog
+	TargetVHDL    = driver.TargetVHDL
+	TargetStats   = driver.TargetStats
+)
+
+// Pipeline phases.
+const (
+	PhaseRead    = driver.PhaseRead
+	PhaseParse   = driver.PhaseParse
+	PhaseLower   = driver.PhaseLower
+	PhaseCompile = driver.PhaseCompile
+	PhaseEmit    = driver.PhaseEmit
+)
+
+// NewDriver returns a batch-compilation driver with the given
+// worker-pool size (<= 0 means GOMAXPROCS).
+func NewDriver(workers int) *Driver { return driver.New(workers) }
+
+// ParseTargets parses a comma-separated target list.
+func ParseTargets(s string) ([]Target, error) { return driver.ParseTargets(s) }
+
+// ExpandModules returns one request per module in the request's file,
+// for batch-compiling whole files.
+func ExpandModules(req BuildRequest) ([]BuildRequest, error) {
+	return driver.ExpandModules(req)
 }
 
 // Table1Config sizes the Table 1 workloads.

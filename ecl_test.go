@@ -1,6 +1,7 @@
 package ecl
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -143,6 +144,40 @@ module m(input word w, output pure big) {
 	}
 	if _, err := prog.Compile("m"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDriver(t *testing.T) {
+	d := NewDriver(4)
+	targets, err := ParseTargets("esterel,c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := ExpandModules(BuildRequest{
+		Path: "stack.ecl", Source: paperex.Stack, Targets: targets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := d.Build(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 stack modules", len(results))
+	}
+	for _, res := range results {
+		if res.Failed() {
+			t.Fatalf("%s: %v", res.Module, res.Err)
+		}
+		if !strings.Contains(res.Artifacts[TargetEsterel], "module "+res.Module+":") {
+			t.Errorf("%s: esterel artifact wrong", res.Module)
+		}
+	}
+	// Failures surface as structured diagnostics with phases.
+	bad := d.BuildOne(BuildRequest{Path: "bad.ecl", Source: "module ("})
+	if !bad.Failed() || len(bad.Diags) == 0 || bad.Diags[0].Phase != PhaseParse {
+		t.Errorf("bad build: err=%v diags=%+v", bad.Err, bad.Diags)
 	}
 }
 

@@ -1,0 +1,75 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/paperex"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/source"
+)
+
+// parse runs the real front-end order: preprocess, then parse.
+func parse(t *testing.T, name, src string) *ast.File {
+	t.Helper()
+	var diags source.DiagList
+	expanded := pp.New(&diags, pp.MapResolver(nil)).Expand(source.NewFile(name, src))
+	f := parser.ParseFile(expanded, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("%s: %v", name, diags.Err())
+	}
+	return f
+}
+
+// TestPrintReparseRoundTrip checks that the printer emits valid ECL:
+// printing a parsed file, reparsing the output, and printing again
+// must reach a fixed point.
+func TestPrintReparseRoundTrip(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"abro.ecl", paperex.ABRO},
+		{"runner.ecl", paperex.RunnerStop},
+		{"stack.ecl", paperex.Stack},
+		{"buffer.ecl", paperex.Buffer},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			first := ast.String(parse(t, tc.name, tc.src))
+			second := ast.String(parse(t, "printed:"+tc.name, first))
+			if first != second {
+				t.Errorf("print -> reparse -> print is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+					first, second)
+			}
+		})
+	}
+}
+
+// TestPrintKeepsDeclarations spot-checks that printing preserves the
+// declarations the paper's figures rely on.
+func TestPrintKeepsDeclarations(t *testing.T) {
+	f := parse(t, "stack.ecl", paperex.Stack)
+	text := ast.String(f)
+	for _, want := range []string{
+		"module assemble", "module checkcrc", "module prochdr", "module toplevel",
+		"typedef", "signal",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed file lacks %q", want)
+		}
+	}
+}
+
+// TestPrintModulesIndividually round-trips each module declaration on
+// its own (the printer must not depend on file context).
+func TestPrintModulesIndividually(t *testing.T) {
+	f := parse(t, "buffer.ecl", paperex.Buffer)
+	if len(f.Modules()) != 4 {
+		t.Fatalf("modules = %d", len(f.Modules()))
+	}
+	for _, m := range f.Modules() {
+		if s := ast.String(m); !strings.Contains(s, "module "+m.Name) {
+			t.Errorf("module %s prints wrong:\n%s", m.Name, s)
+		}
+	}
+}

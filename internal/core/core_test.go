@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/source"
+)
+
+func TestModulesListedInSourceOrder(t *testing.T) {
+	prog, err := Parse("stack.ecl", paperex.Stack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"assemble", "checkcrc", "prochdr", "toplevel"}
+	got := prog.Modules()
+	if len(got) != len(want) {
+		t.Fatalf("modules = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("module %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseSyntaxError(t *testing.T) {
+	_, err := Parse("bad.ecl", "module m (input pure a) { await (; }", Options{})
+	if err == nil {
+		t.Fatal("want syntax error")
+	}
+	var de *source.DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a DiagError: %v", err, err)
+	}
+	if len(de.Diags) == 0 || !de.Diags[0].Pos.IsValid() {
+		t.Errorf("diagnostics carry no position: %+v", de.Diags)
+	}
+	if !strings.Contains(err.Error(), "bad.ecl:1:") {
+		t.Errorf("error lacks file:line: %v", err)
+	}
+}
+
+func TestParseSemanticError(t *testing.T) {
+	// Emitting an undeclared signal must fail in analysis, not parse.
+	src := "module m (input pure a) { await (a); emit (nosuch); }"
+	_, err := Parse("sem.ecl", src, Options{})
+	if err == nil {
+		t.Fatal("want semantic error")
+	}
+	if !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error does not name the bad signal: %v", err)
+	}
+}
+
+func TestParseRejectsUnknownInclude(t *testing.T) {
+	_, err := Parse("inc.ecl", `#include "missing.h"`+"\nmodule m (input pure a) { await (a); }", Options{})
+	if err == nil {
+		t.Fatal("want include error")
+	}
+}
+
+func TestCompileUnknownModule(t *testing.T) {
+	prog, err := Parse("abro.ecl", paperex.ABRO, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Compile("nosuch"); err == nil {
+		t.Fatal("want unknown-module error")
+	} else if !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error does not name the module: %v", err)
+	}
+}
+
+func TestCompileEveryStackModule(t *testing.T) {
+	prog, err := Parse("stack.ecl", paperex.Stack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mod := range prog.Modules() {
+		design, err := prog.Compile(mod)
+		if err != nil {
+			t.Errorf("%s: %v", mod, err)
+			continue
+		}
+		if design.Stats().EFSM.States == 0 {
+			t.Errorf("%s: empty EFSM", mod)
+		}
+	}
+}
+
+func TestGlueTextAccessors(t *testing.T) {
+	prog, err := Parse("stack.ecl", paperex.Stack, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("toplevel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	glue := design.GlueText()
+	if !strings.Contains(glue, "ecl_sigval_") {
+		t.Errorf("glue lacks signal accessors:\n%s", glue)
+	}
+	if !strings.Contains(glue, "module toplevel") {
+		t.Errorf("glue lacks module banner:\n%s", glue)
+	}
+}

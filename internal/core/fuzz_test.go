@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/paperex"
+)
+
+// FuzzCompile runs the whole front end plus EFSM compilation over
+// arbitrary text (seeded from the paper-example corpus) and asserts
+// the pipeline never panics: malformed input must come back as an
+// error. The EFSM bounds are kept tight so pathological inputs abort
+// instead of exploding.
+func FuzzCompile(f *testing.F) {
+	f.Add(paperex.ABRO)
+	f.Add(paperex.RunnerStop)
+	f.Add(paperex.Header + paperex.CheckCRC)
+	f.Add("module m (input pure a, output pure b) { while (1) { await (a); emit (b); } }")
+	f.Add("module m (input int v) { signal pure s; par { emit (s); await (v); } }")
+	f.Add("#define A B\nmodule m (input pure A) { await (A); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<13 {
+			t.Skip("oversized input")
+		}
+		opts := Options{Compile: compile.Options{
+			MaxStates:          100,
+			MaxRunsPerState:    256,
+			MaxDecisionsPerRun: 32,
+		}}
+		prog, err := Parse("fuzz.ecl", src, opts)
+		if err != nil {
+			return
+		}
+		for _, mod := range prog.Modules() {
+			design, err := prog.Compile(mod)
+			if err != nil {
+				continue
+			}
+			// Emission must not panic either.
+			_ = design.EsterelText()
+			_ = design.CText()
+			_ = design.GlueText()
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package driver orchestrates the ECL compilation pipeline for many
+// modules at once. It is the one place that wires up the paper's flow
+// — parse, analyze, split into reactive + data parts, compile to an
+// EFSM, emit artifacts — so the command-line tools (eclc, eclsim,
+// eclbench) and library users all share the same entry point instead
+// of replumbing the phases by hand.
+//
+// A Driver runs a batch of Requests over a bounded worker pool,
+// deduplicates work through a content-hash keyed design cache (repeated
+// builds of unchanged sources are near-free), and reports failures as
+// structured Diagnostics carrying the file, module, and pipeline phase
+// instead of bare error strings.
+package driver
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/efsm"
+	"repro/internal/lower"
+	"repro/internal/source"
+)
+
+// Phase names the pipeline stage a diagnostic originated in.
+type Phase string
+
+// Pipeline phases, in flow order.
+const (
+	// PhaseRead covers loading source text from disk.
+	PhaseRead Phase = "read"
+	// PhaseParse covers preprocessing, parsing, and semantic analysis
+	// (the front end up to a checked AST).
+	PhaseParse Phase = "parse"
+	// PhaseLower covers the reactive/data split into the Esterel
+	// kernel (including module selection).
+	PhaseLower Phase = "lower"
+	// PhaseCompile covers EFSM construction and minimization.
+	PhaseCompile Phase = "compile"
+	// PhaseEmit covers back-end artifact generation.
+	PhaseEmit Phase = "emit"
+)
+
+// Diagnostic is one structured build message: where it happened (file,
+// module, position), in which phase, and what went wrong.
+type Diagnostic struct {
+	File     string
+	Module   string
+	Phase    Phase
+	Pos      string // "file:line:col" when known, else ""
+	Severity source.Severity
+	Message  string
+}
+
+// String renders the diagnostic in a grep-friendly single line.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Pos != "" {
+		b.WriteString(d.Pos)
+	} else {
+		b.WriteString(d.File)
+	}
+	if d.Module != "" {
+		fmt.Fprintf(&b, ": module %s", d.Module)
+	}
+	fmt.Fprintf(&b, ": [%s] %s: %s", d.Phase, d.Severity, d.Message)
+	return b.String()
+}
+
+// Request asks for one module to be compiled to a set of targets.
+type Request struct {
+	// Path is the source file path; it is read from disk when Source
+	// is empty, and otherwise used only as the display name.
+	Path string
+	// Source is the ECL source text (optional; see Path).
+	Source string
+	// Module selects the module to compile; empty means the last
+	// module declared in the file (the eclc convention).
+	Module string
+	// Targets lists the artifacts to emit; empty compiles the design
+	// without emitting anything (useful for simulation and stats-free
+	// builds).
+	Targets []Target
+	// GoPackage is the package name for TargetGo (default: the module
+	// name).
+	GoPackage string
+	// Options configures the pipeline (splitter policy, preprocessor
+	// tables, EFSM bounds, minimization).
+	Options core.Options
+}
+
+// Result reports one request's outcome. Artifacts maps each requested
+// target to its rendered text; Design exposes the compiled module for
+// callers that want to simulate or inspect it; Diags carries
+// structured failure information when Err is non-nil.
+type Result struct {
+	Path   string
+	Module string // resolved module name (never empty on success)
+
+	Artifacts map[Target]string
+	Stats     *core.Stats
+	Design    *core.Design
+
+	Diags  []Diagnostic
+	Err    error
+	Cached bool // design came from the content-hash cache
+}
+
+// Failed reports whether the request produced an error.
+func (r *Result) Failed() bool { return r.Err != nil }
+
+// Driver runs batches of compilation requests. The zero value is ready
+// to use: it sizes its worker pool to GOMAXPROCS and caches compiled
+// designs by content hash. A Driver is safe for concurrent use.
+type Driver struct {
+	// Workers bounds the number of concurrently building requests
+	// (default: GOMAXPROCS).
+	Workers int
+	// NoCache disables the design cache (every request recompiles).
+	NoCache bool
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// New returns a Driver with the given worker-pool size (<= 0 means
+// GOMAXPROCS).
+func New(workers int) *Driver { return &Driver{Workers: workers} }
+
+// CacheStats reports design-cache hits and misses so far.
+func (d *Driver) CacheStats() (hits, misses int64) {
+	return d.hits.Load(), d.misses.Load()
+}
+
+// Build compiles every request concurrently over the worker pool and
+// returns one Result per request, in request order. Per-request
+// failures are reported in the Results (and joined into the returned
+// error); a cancelled context marks the remaining requests failed with
+// the context error.
+func (d *Driver) Build(ctx context.Context, reqs []Request) ([]Result, error) {
+	results := make([]Result, len(reqs))
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+dispatch:
+	for i := range reqs {
+		// Check cancellation before the blocking acquire: select picks
+		// randomly among ready cases, so a free slot could otherwise
+		// win over an already-cancelled context.
+		if ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = d.buildOne(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Err == nil && results[i].Design == nil {
+				results[i] = Result{Path: reqs[i].Path, Module: reqs[i].Module, Err: err}
+			}
+		}
+	}
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", describe(&results[i]), results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// BuildOne compiles a single request synchronously.
+func (d *Driver) BuildOne(req Request) Result { return d.buildOne(req) }
+
+func describe(r *Result) string {
+	if r.Module != "" {
+		return r.Path + ":" + r.Module
+	}
+	return r.Path
+}
+
+// buildOne runs the full pipeline for one request, consulting the
+// design cache first.
+func (d *Driver) buildOne(req Request) Result {
+	res := Result{Path: req.Path, Module: req.Module}
+
+	src := req.Source
+	if src == "" {
+		data, err := os.ReadFile(req.Path)
+		if err != nil {
+			res.Err = err
+			res.Diags = []Diagnostic{{
+				File: req.Path, Phase: PhaseRead,
+				Severity: source.Error, Message: err.Error(),
+			}}
+			return res
+		}
+		src = string(data)
+	}
+
+	var entry *cacheEntry
+	if d.NoCache {
+		entry = &cacheEntry{}
+	} else {
+		entry = d.entry(cacheKey(req.Path, src, req.Module, req.Options))
+	}
+	built := false
+	entry.once.Do(func() {
+		built = true
+		d.misses.Add(1)
+		entry.module, entry.design, entry.diags, entry.err =
+			compileModule(req.Path, src, req.Module, req.Options)
+	})
+	if !built {
+		d.hits.Add(1)
+		res.Cached = true
+	}
+	if entry.module != "" {
+		res.Module = entry.module
+	}
+	if entry.err != nil {
+		res.Err = entry.err
+		res.Diags = entry.diags
+		return res
+	}
+	res.Design = entry.design
+
+	if len(req.Targets) > 0 {
+		res.Artifacts = make(map[Target]string, len(req.Targets))
+		for _, t := range req.Targets {
+			text, err := entry.artifact(t, req.GoPackage)
+			if err != nil {
+				res.Err = err
+				res.Diags = append(res.Diags, Diagnostic{
+					File: req.Path, Module: res.Module, Phase: PhaseEmit,
+					Severity: source.Error,
+					Message:  fmt.Sprintf("target %s: %v", t, err),
+				})
+				return res
+			}
+			res.Artifacts[t] = text
+		}
+		if _, ok := res.Artifacts[TargetStats]; ok {
+			st := entry.design.Stats()
+			res.Stats = &st
+		}
+	}
+	return res
+}
+
+// compileModule runs the front end and the EFSM compiler for one
+// module, attributing any failure to its pipeline phase.
+func compileModule(path, src, module string, opts core.Options) (string, *core.Design, []Diagnostic, error) {
+	prog, err := core.Parse(path, src, opts)
+	if err != nil {
+		return module, nil, toDiags(path, module, PhaseParse, err), err
+	}
+	if module == "" {
+		mods := prog.Modules()
+		if len(mods) == 0 {
+			err := fmt.Errorf("no modules in %s", path)
+			return "", nil, toDiags(path, "", PhaseLower, err), err
+		}
+		module = mods[len(mods)-1]
+	}
+
+	// Drive lowering and EFSM construction directly (rather than
+	// through Program.Compile) so failures carry their phase and each
+	// request appends to its own diagnostic list.
+	var diags source.DiagList
+	low, err := lower.Lower(prog.Info, module, opts.Policy, &diags)
+	if err != nil {
+		return module, nil, toDiags(path, module, PhaseLower, err), err
+	}
+	machine, err := compile.CompileWith(low, opts.Compile)
+	if err != nil {
+		return module, nil, toDiags(path, module, PhaseCompile, err), err
+	}
+	if opts.Minimize {
+		machine, _ = efsm.Minimize(machine)
+	}
+	return module, &core.Design{Program: prog, Lowered: low, Machine: machine}, nil, nil
+}
+
+// toDiags converts an error into structured diagnostics, splitting a
+// source.DiagError into its per-position messages.
+func toDiags(file, module string, phase Phase, err error) []Diagnostic {
+	var de *source.DiagError
+	if errors.As(err, &de) {
+		out := make([]Diagnostic, 0, len(de.Diags))
+		for _, d := range de.Diags {
+			pos := ""
+			if d.Pos.IsValid() {
+				pos = d.Pos.String()
+			}
+			out = append(out, Diagnostic{
+				File: file, Module: module, Phase: phase,
+				Pos: pos, Severity: d.Severity, Message: d.Message,
+			})
+		}
+		return out
+	}
+	return []Diagnostic{{
+		File: file, Module: module, Phase: phase,
+		Severity: source.Error, Message: err.Error(),
+	}}
+}
+
+// ExpandModules returns one request per module declared in the
+// request's file, in source order, so a batch build can compile every
+// module concurrently. The per-module requests inherit the targets and
+// options of the seed request.
+//
+// Each per-module build re-runs the front end over the shared source:
+// lowering mutates the analysis tables (sem.Info), so one parsed
+// program cannot be lowered concurrently for several modules.
+func ExpandModules(req Request) ([]Request, error) {
+	src := req.Source
+	if src == "" {
+		data, err := os.ReadFile(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		src = string(data)
+	}
+	prog, err := core.Parse(req.Path, src, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	mods := prog.Modules()
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("no modules in %s", req.Path)
+	}
+	out := make([]Request, 0, len(mods))
+	for _, m := range mods {
+		r := req
+		r.Source = src
+		r.Module = m
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Design cache
+
+// cacheEntry is a single-flight slot for one (source, module, options)
+// key: the first request builds the design, later requests reuse it,
+// and rendered artifacts are memoized per target.
+type cacheEntry struct {
+	once sync.Once
+
+	module string
+	design *core.Design
+	diags  []Diagnostic
+	err    error
+
+	mu        sync.Mutex
+	artifacts map[string]artifactResult
+}
+
+type artifactResult struct {
+	text string
+	err  error
+}
+
+// artifact renders (or recalls) one target's text.
+func (e *cacheEntry) artifact(t Target, goPkg string) (string, error) {
+	key := string(t)
+	if t == TargetGo {
+		if goPkg == "" {
+			goPkg = e.module
+		}
+		key += "\x00" + goPkg
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.artifacts == nil {
+		e.artifacts = make(map[string]artifactResult)
+	}
+	if r, ok := e.artifacts[key]; ok {
+		return r.text, r.err
+	}
+	text, err := emit(e.design, t, goPkg)
+	e.artifacts[key] = artifactResult{text, err}
+	return text, err
+}
+
+func (d *Driver) entry(key string) *cacheEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.entries == nil {
+		d.entries = make(map[string]*cacheEntry)
+	}
+	e, ok := d.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		d.entries[key] = e
+	}
+	return e
+}
+
+// cacheKey fingerprints everything that determines a compiled design
+// and its diagnostics: the source text, the selected module, the
+// pipeline options — and the path, because diagnostics and AST
+// positions carry the file name, so identical text under two paths
+// must not share an entry.
+func cacheKey(path, src, module string, opts core.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "path:%s", path)
+	fmt.Fprintf(h, "\x00src:%d:", len(src))
+	h.Write([]byte(src))
+	fmt.Fprintf(h, "\x00mod:%s\x00pol:%d\x00min:%t", module, opts.Policy, opts.Minimize)
+	fmt.Fprintf(h, "\x00cmp:%d:%d:%d",
+		opts.Compile.MaxStates, opts.Compile.MaxRunsPerState, opts.Compile.MaxDecisionsPerRun)
+	writeSortedMap(h, "def", opts.Defines)
+	writeSortedMap(h, "inc", opts.Includes)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeSortedMap(h interface{ Write([]byte) (int, error) }, tag string, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(h, "\x00%s:%d", tag, len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(h, "\x00%s\x01%s", k, m[k])
+	}
+}

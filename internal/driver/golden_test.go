@@ -1,0 +1,46 @@
+package driver
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenArtifacts compiles the checked-in fixture module and
+// compares every text artifact against its golden file. Run with
+// -update to regenerate the goldens after an intentional back-end
+// change.
+func TestGoldenArtifacts(t *testing.T) {
+	targets := []Target{TargetEsterel, TargetC, TargetGlue, TargetStats}
+	res := New(0).BuildOne(Request{
+		Path:    filepath.Join("testdata", "abro.ecl"),
+		Targets: targets,
+	})
+	if res.Failed() {
+		t.Fatalf("build: %v", res.Err)
+	}
+	if res.Module != "abro" {
+		t.Fatalf("module = %q", res.Module)
+	}
+	for _, target := range targets {
+		got := res.Artifacts[target]
+		golden := filepath.Join("testdata", "abro."+string(target)+".golden")
+		if *update {
+			if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%s (run with -update to create)", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s artifact differs from %s;\nrun 'go test ./internal/driver -run TestGoldenArtifacts -update' if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+				target, golden, got, want)
+		}
+	}
+}

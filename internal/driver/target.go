@@ -1,0 +1,123 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Target names one artifact the driver can emit for a compiled module.
+type Target string
+
+// Artifact targets, mirroring the paper's outputs: the reactive part
+// as Esterel, software synthesis in C or Go, the C glue header,
+// Graphviz DOT of the EFSM, hardware synthesis to Verilog or VHDL, and
+// a human-readable stats summary.
+const (
+	TargetEsterel Target = "esterel"
+	TargetC       Target = "c"
+	TargetGo      Target = "go"
+	TargetGlue    Target = "glue"
+	TargetDot     Target = "dot"
+	TargetVerilog Target = "verilog"
+	TargetVHDL    Target = "vhdl"
+	TargetStats   Target = "stats"
+)
+
+// AllTargets lists every target the driver knows, in a stable order.
+func AllTargets() []Target {
+	return []Target{TargetEsterel, TargetC, TargetGo, TargetGlue,
+		TargetDot, TargetVerilog, TargetVHDL, TargetStats}
+}
+
+// ParseTargets parses a comma-separated target list (as accepted by
+// eclc's -target flag), ignoring empty items and deduplicating
+// repeats (first occurrence wins the position).
+func ParseTargets(s string) ([]Target, error) {
+	var out []Target
+	seen := map[Target]bool{}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		t := Target(item)
+		switch t {
+		case TargetEsterel, TargetC, TargetGo, TargetGlue,
+			TargetDot, TargetVerilog, TargetVHDL, TargetStats:
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		default:
+			return nil, fmt.Errorf("unknown target %q", item)
+		}
+	}
+	return out, nil
+}
+
+// Filename returns the conventional output file name for a target
+// applied to a module ("" for stats, which goes to the console).
+func (t Target) Filename(module string) string {
+	switch t {
+	case TargetEsterel:
+		return module + ".strl"
+	case TargetC:
+		return module + ".c"
+	case TargetGo:
+		return module + "_gen.go"
+	case TargetGlue:
+		return module + "_glue.h"
+	case TargetDot:
+		return module + ".dot"
+	case TargetVerilog:
+		return module + ".v"
+	case TargetVHDL:
+		return module + ".vhd"
+	}
+	return ""
+}
+
+// emit renders one artifact from a compiled design.
+func emit(d *core.Design, t Target, goPkg string) (string, error) {
+	switch t {
+	case TargetEsterel:
+		return d.EsterelText(), nil
+	case TargetC:
+		return d.CText(), nil
+	case TargetGo:
+		if goPkg == "" {
+			goPkg = d.Machine.Name
+		}
+		return d.GoText(goPkg)
+	case TargetGlue:
+		return d.GlueText(), nil
+	case TargetDot:
+		return d.DotText(), nil
+	case TargetVerilog:
+		return d.VerilogText()
+	case TargetVHDL:
+		return d.VHDLText()
+	case TargetStats:
+		return FormatStats(d), nil
+	}
+	return "", fmt.Errorf("unknown target %q", t)
+}
+
+// FormatStats renders the design's size metrics in eclc's console
+// layout.
+func FormatStats(d *core.Design) string {
+	st := d.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (policy %s):\n", d.Machine.Name, d.Lowered.Policy)
+	fmt.Fprintf(&b, "  kernel nodes:   %d (pauses %d, emits %d, pars %d, aborts %d)\n",
+		st.KernelStats.Nodes, st.KernelStats.Pauses, st.KernelStats.Emits,
+		st.KernelStats.Pars, st.KernelStats.Aborts)
+	fmt.Fprintf(&b, "  data functions: %d\n", st.DataFuncs)
+	fmt.Fprintf(&b, "  EFSM:           %d states, %d transitions, %d tree nodes\n",
+		st.EFSM.States, st.EFSM.Leaves, st.EFSM.TreeNodes)
+	fmt.Fprintf(&b, "  image estimate: %d code bytes, %d data bytes (MIPS R3000)\n",
+		st.Image.CodeBytes, st.Image.DataBytes)
+	return b.String()
+}

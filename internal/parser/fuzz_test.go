@@ -1,0 +1,32 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/source"
+)
+
+// FuzzParse feeds arbitrary text to the parser (seeded from the
+// paper-example corpus) and asserts it never panics — every failure
+// must surface as a diagnostic.
+func FuzzParse(f *testing.F) {
+	f.Add(paperex.ABRO)
+	f.Add(paperex.RunnerStop)
+	f.Add(paperex.Stack)
+	f.Add(paperex.Buffer)
+	f.Add(paperex.Header + paperex.Assemble)
+	f.Add("module m (input pure a) { await (a); }")
+	f.Add("module m (") // truncated
+	f.Add("x \x00 \xff ?")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		var diags source.DiagList
+		file := ParseFile(source.NewFile("fuzz.ecl", src), &diags)
+		if file == nil {
+			t.Fatal("ParseFile returned nil file")
+		}
+	})
+}
