@@ -18,8 +18,11 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/ctypes"
+	"repro/internal/cval"
 	"repro/internal/driver"
 	"repro/internal/efsm"
+	"repro/internal/exec"
 	"repro/internal/lower"
 	"repro/internal/paperex"
 	"repro/internal/sim"
@@ -377,39 +380,64 @@ func BenchmarkBatchCachedRebuild(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Raw engine benchmarks
+// Per-backend execution benchmarks through the unified exec API
 
-// BenchmarkInterpreterStackPacket measures the reference interpreter
-// pushing one packet through the stack.
-func BenchmarkInterpreterStackPacket(b *testing.B) {
+// BenchmarkStepPacket measures per-backend Step throughput: one stack
+// packet pushed byte-per-instant through every registered backend.
+// Expect the compiled EFSM far ahead of the reference interpreter (the
+// paper's point about compiled reaction speed), with the RTOS system
+// simulation in between (mailbox and scheduling overhead per tick).
+func BenchmarkStepPacket(b *testing.B) {
 	design := compileWithPolicy(b, paperex.Stack, "toplevel", lower.MaximalReactive)
-	m := design.Interpreter()
 	pkt := paperex.MakePacket(true)
-	inByte := design.Lowered.Module.Signal("in_byte")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < paperex.PktSize; j++ {
-			if _, err := m.React(interpInput(inByte, pkt[j])); err != nil {
-				b.Fatal(err)
-			}
+	instants := make([]map[string]cval.Value, paperex.PktSize)
+	for j := range instants {
+		instants[j] = map[string]cval.Value{
+			"in_byte": cval.FromInt(ctypes.UChar, int64(pkt[j])),
 		}
+	}
+	for _, backend := range exec.Backends() {
+		b.Run(backend, func(b *testing.B) {
+			m, err := exec.Open(backend, design)
+			if err != nil {
+				b.Skipf("open: %v", err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < paperex.PktSize; j++ {
+					if _, err := m.Step(instants[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(paperex.PktSize), "instants/op")
+		})
 	}
 }
 
-// BenchmarkEFSMStackPacket measures the compiled EFSM on the same
-// workload; expect a large speedup over the interpreter (the paper's
-// point about compiled reaction speed).
-func BenchmarkEFSMStackPacket(b *testing.B) {
+// BenchmarkSessionFork measures snapshot forking: branching a running
+// stack simulation inside a Session.
+func BenchmarkSessionFork(b *testing.B) {
 	design := compileWithPolicy(b, paperex.Stack, "toplevel", lower.MaximalReactive)
-	rt := design.Runtime()
+	s := exec.NewSession()
+	if _, err := s.Open("src", "efsm", design); err != nil {
+		b.Fatal(err)
+	}
 	pkt := paperex.MakePacket(true)
-	inByte := design.Lowered.Module.Signal("in_byte")
+	for j := 0; j < paperex.PktSize/2; j++ {
+		in := map[string]cval.Value{"in_byte": cval.FromInt(ctypes.UChar, int64(pkt[j]))}
+		if _, err := s.Step("src", in); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for j := 0; j < paperex.PktSize; j++ {
-			if _, err := rt.Step(efsmInput(inByte, pkt[j])); err != nil {
-				b.Fatal(err)
-			}
+		id, err := s.Fork("src", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Close(id); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

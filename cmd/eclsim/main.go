@@ -1,15 +1,21 @@
 // Command eclsim simulates a compiled ECL module against an input
-// script. Each script line is one instant: a whitespace-separated list
-// of present inputs, with values as name=int for valued signals; blank
-// lines and '#' comments are idle instants. The simulator prints the
-// emitted outputs per instant.
+// script through the unified execution API (internal/exec). Each
+// script line is one instant: a whitespace-separated list of present
+// inputs, with values as name=int for valued signals; blank lines and
+// '#' comments are idle instants. The simulator prints the emitted
+// outputs per instant. Script lines naming a signal that is not an
+// input of the module are rejected with the valid input list.
 //
 // Usage:
 //
-//	eclsim [-module name] [-mode interp|efsm] [-n instants] [-script file] file.ecl
+//	eclsim [-module name] [-backend interp|efsm|efsm-min|sim] [-n instants]
+//	       [-script file] [-trace out.jsonl] [-replay in.jsonl] file.ecl
 //
 // Without a script, eclsim runs -n idle instants (useful for modules
-// driven by empty await() delta cycles).
+// driven by empty await() delta cycles). -trace records the run as a
+// canonical JSONL trace; -replay drives the machine with a recorded
+// trace's inputs instead of a script and diffs the outputs against the
+// recording — so a trace captured on one backend checks another.
 package main
 
 import (
@@ -18,19 +24,20 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/cval"
 	"repro/internal/driver"
-	"repro/internal/interp"
-	"repro/internal/kernel"
+	"repro/internal/exec"
 )
 
 func main() {
 	module := flag.String("module", "", "module to simulate (default: last in file)")
-	mode := flag.String("mode", "efsm", "execution engine: interp (reference) or efsm (compiled)")
+	backend := flag.String("backend", "", "execution backend: "+strings.Join(exec.Backends(), ", ")+" (default efsm)")
+	mode := flag.String("mode", "", "deprecated alias for -backend")
 	script := flag.String("script", "", "input script file (one instant per line)")
+	tracePath := flag.String("trace", "", "record the run as a JSONL trace to this file")
+	replayPath := flag.String("replay", "", "replay a recorded JSONL trace and diff the outputs")
 	n := flag.Int("n", 10, "idle instants to run when no script is given")
 	flag.Parse()
 
@@ -39,6 +46,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	name := *backend
+	if name == "" && *mode != "" {
+		fmt.Fprintln(os.Stderr, "eclsim: -mode is deprecated, use -backend")
+		name = *mode
+	}
+	if name == "" {
+		name = "efsm"
+	}
+
 	res := driver.New(1).BuildOne(driver.Request{Path: flag.Arg(0), Module: *module})
 	if res.Failed() {
 		for _, diag := range res.Diags {
@@ -46,7 +62,15 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	design := res.Design
+	m, err := exec.Open(name, res.Design)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *replayPath != "" {
+		replay(m, *replayPath)
+		return
+	}
 
 	var lines []string
 	if *script != "" {
@@ -62,76 +86,77 @@ func main() {
 	} else {
 		lines = make([]string, *n)
 	}
-
-	sigByName := map[string]*kernel.Signal{}
-	for _, s := range design.Lowered.Module.Inputs {
-		sigByName[s.Name] = s
+	instants, err := exec.ParseScript(m, lines)
+	if err != nil {
+		fatal(err)
 	}
 
-	var stepInterp *interp.Machine
-	var stepEFSM = design.Runtime()
-	if *mode == "interp" {
-		stepInterp = design.Interpreter()
-	}
-
-	for i, line := range lines {
-		line = strings.TrimSpace(line)
-		if idx := strings.IndexByte(line, '#'); idx >= 0 {
-			line = strings.TrimSpace(line[:idx])
+	trace := exec.NewTrace(m.Module(), m.Backend())
+	for i, in := range instants {
+		r, err := m.Step(in)
+		if err != nil {
+			fatal(fmt.Errorf("instant %d: %w", i, err))
 		}
-		inputs := map[*kernel.Signal]cval.Value{}
-		for _, tok := range strings.Fields(line) {
-			name, valText, hasVal := strings.Cut(tok, "=")
-			sig := sigByName[name]
-			if sig == nil {
-				fatal(fmt.Errorf("instant %d: unknown input %q", i, name))
-			}
-			var v cval.Value
-			if hasVal {
-				x, err := strconv.ParseInt(valText, 0, 64)
-				if err != nil {
-					fatal(fmt.Errorf("instant %d: bad value %q", i, tok))
-				}
-				v = cval.FromInt(sig.Type, x)
-			}
-			inputs[sig] = v
-		}
-
+		trace.Append(in, r)
 		var outs []string
-		var terminated bool
-		if stepInterp != nil {
-			r, err := stepInterp.React(inputs)
-			if err != nil {
-				fatal(fmt.Errorf("instant %d: %w", i, err))
-			}
-			for s, v := range r.Outputs {
-				outs = append(outs, formatOut(s, v))
-			}
-			terminated = r.Terminated
-		} else {
-			r, err := stepEFSM.Step(inputs)
-			if err != nil {
-				fatal(fmt.Errorf("instant %d: %w", i, err))
-			}
-			for s, v := range r.Outputs {
-				outs = append(outs, formatOut(s, v))
-			}
-			terminated = r.Terminated
+		for name, v := range r.Outputs {
+			outs = append(outs, formatOut(name, v))
 		}
 		sort.Strings(outs)
-		fmt.Printf("instant %3d: in=[%s] out=[%s]\n", i, line, strings.Join(outs, " "))
-		if terminated {
+		line := lines[i]
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fmt.Printf("instant %3d: in=[%s] out=[%s]\n", i, strings.TrimSpace(line), strings.Join(outs, " "))
+		if r.Terminated {
 			fmt.Println("program terminated")
 			break
 		}
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eclsim: trace (%d instants) written to %s\n", len(trace.Events), *tracePath)
+	}
 }
 
-func formatOut(s *kernel.Signal, v cval.Value) string {
-	if v.IsValid() {
-		return s.Name + "=" + v.String()
+// replay drives the machine with a recorded trace and diffs outputs.
+func replay(m exec.Machine, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
 	}
-	return s.Name
+	recorded, err := exec.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	got, err := exec.Replay(m, recorded)
+	if err != nil {
+		fatal(err)
+	}
+	if err := exec.Diff(recorded, got); err != nil {
+		fmt.Fprintf(os.Stderr, "eclsim: replay diverged (%s vs %s): %v\n",
+			recorded.Backend, m.Backend(), err)
+		os.Exit(1)
+	}
+	fmt.Printf("replay ok: %d instants, %s trace reproduced on %s\n",
+		len(recorded.Events), recorded.Backend, m.Backend())
+}
+
+func formatOut(name string, v cval.Value) string {
+	if v.IsValid() {
+		return name + "=" + v.String()
+	}
+	return name
 }
 
 func fatal(err error) {

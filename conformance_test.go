@@ -1,24 +1,29 @@
-// Differential conformance tests: the paper gives ECL three execution
-// routes that must agree — the reference interpreter (Esterel's logical
-// semantics with constructive causality), and the compiled EFSM. These
-// tests drive both engines with identical pseudo-random input
-// sequences over every paper-example module and require the emitted
-// output traces to match instant by instant, including a
-// minimized-vs-unminimized EFSM comparison.
+// Differential conformance tests: the paper gives ECL several
+// execution routes that must agree — the reference interpreter
+// (Esterel's logical semantics with constructive causality), the
+// compiled EFSM, its bisimulation-minimized variant, and synthesized
+// code. These tests drive every conformant backend registered with
+// internal/exec over identical pseudo-random input sequences on every
+// paper-example module and require the canonical traces to match
+// instant by instant; generated Go code is compiled with the host
+// toolchain and diffed through the same trace format.
 package ecl
 
 import (
-	"fmt"
+	"bytes"
+	"encoding/json"
 	"math/rand"
-	"sort"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cval"
 	"repro/internal/driver"
-	"repro/internal/interp"
-	"repro/internal/kernel"
+	"repro/internal/efsm"
+	"repro/internal/exec"
 	"repro/internal/paperex"
 )
 
@@ -38,14 +43,15 @@ var conformanceCases = []struct {
 	{"buffer.ecl", paperex.Buffer, "bufferctl"},
 }
 
-// randomInstants builds a deterministic pseudo-random input sequence
-// for a module: each instant presents each input with probability p,
-// valued inputs carrying a small random value.
-func randomInstants(rng *rand.Rand, inputs []*kernel.Signal, n int, p float64) []map[*kernel.Signal]cval.Value {
-	instants := make([]map[*kernel.Signal]cval.Value, n)
+// randomInstants builds a deterministic pseudo-random string-keyed
+// input sequence from a machine's input descriptors: each instant
+// presents each input with probability p, valued inputs carrying a
+// small random value.
+func randomInstants(rng *rand.Rand, m exec.Machine, n int, p float64) []map[string]cval.Value {
+	instants := make([]map[string]cval.Value, n)
 	for i := range instants {
-		in := map[*kernel.Signal]cval.Value{}
-		for _, sig := range inputs {
+		in := map[string]cval.Value{}
+		for _, sig := range m.Inputs() {
 			if rng.Float64() >= p {
 				continue
 			}
@@ -53,84 +59,36 @@ func randomInstants(rng *rand.Rand, inputs []*kernel.Signal, n int, p float64) [
 			if !sig.Pure && sig.Type != nil {
 				v = cval.FromInt(sig.Type, int64(rng.Intn(256)))
 			}
-			in[sig] = v
+			in[sig.Name] = v
 		}
 		instants[i] = in
 	}
 	return instants
 }
 
-// instantString renders one instant's emitted outputs canonically.
-func instantString(outs map[*kernel.Signal]cval.Value, terminated bool) string {
-	var parts []string
-	for s, v := range outs {
-		if v.IsValid() {
-			parts = append(parts, s.Name+"="+v.String())
-		} else {
-			parts = append(parts, s.Name)
-		}
-	}
-	sort.Strings(parts)
-	if terminated {
-		parts = append(parts, "<terminated>")
-	}
-	return strings.Join(parts, " ")
-}
-
-// interpTrace runs the input sequence through the reference
-// interpreter.
-func interpTrace(t *testing.T, design *core.Design, instants []map[*kernel.Signal]cval.Value) []string {
+// recordTrace opens a fresh machine of the named backend and records
+// the workload through it.
+func recordTrace(t *testing.T, backend string, design *core.Design, instants []map[string]cval.Value) *exec.Trace {
 	t.Helper()
-	m := design.Interpreter()
-	trace := make([]string, 0, len(instants))
-	for i, in := range instants {
-		r, err := m.React(interp.Inputs(in))
-		if err != nil {
-			t.Fatalf("interp instant %d: %v", i, err)
-		}
-		trace = append(trace, instantString(r.Outputs, r.Terminated))
-		if r.Terminated {
-			break
-		}
+	m, err := exec.Open(backend, design)
+	if err != nil {
+		t.Fatalf("open %s: %v", backend, err)
 	}
-	return trace
+	tr, err := exec.Record(m, instants)
+	if err != nil {
+		t.Fatalf("%s: %v", backend, err)
+	}
+	return tr
 }
 
-// efsmTrace runs the input sequence through the compiled-EFSM runtime.
-func efsmTrace(t *testing.T, design *core.Design, instants []map[*kernel.Signal]cval.Value) []string {
-	t.Helper()
-	rt := design.Runtime()
-	trace := make([]string, 0, len(instants))
-	for i, in := range instants {
-		r, err := rt.Step(in)
-		if err != nil {
-			t.Fatalf("efsm instant %d: %v", i, err)
-		}
-		trace = append(trace, instantString(r.Outputs, r.Terminated))
-		if r.Terminated {
-			break
-		}
+// TestConformanceBackends is the generic N-way diff: every conformant
+// registered backend must produce the reference interpreter's trace on
+// every paper example.
+func TestConformanceBackends(t *testing.T) {
+	backends := exec.ConformantBackends()
+	if len(backends) < 3 {
+		t.Fatalf("want at least interp/efsm/efsm-min, have %v", backends)
 	}
-	return trace
-}
-
-func diffTraces(t *testing.T, label string, want, got []string) {
-	t.Helper()
-	if len(want) != len(got) {
-		t.Fatalf("%s: trace lengths differ: %d vs %d\nA: %v\nB: %v",
-			label, len(want), len(got), want, got)
-	}
-	for i := range want {
-		if want[i] != got[i] {
-			t.Errorf("%s: instant %d differs:\n  A: [%s]\n  B: [%s]",
-				label, i, want[i], got[i])
-		}
-	}
-}
-
-// TestConformanceInterpVsEFSM checks that the interpreter and the
-// compiled EFSM emit identical output traces on every paper example.
-func TestConformanceInterpVsEFSM(t *testing.T) {
 	d := driver.New(0)
 	for _, tc := range conformanceCases {
 		tc := tc
@@ -139,59 +97,238 @@ func TestConformanceInterpVsEFSM(t *testing.T) {
 			if res.Failed() {
 				t.Fatalf("build: %v", res.Err)
 			}
-			design := res.Design
+			ref, err := exec.Open("interp", res.Design)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for seed := int64(1); seed <= 3; seed++ {
 				rng := rand.New(rand.NewSource(seed))
-				instants := randomInstants(rng, design.Lowered.Module.Inputs, 60, 0.35)
-				a := interpTrace(t, design, instants)
-				b := efsmTrace(t, design, instants)
-				diffTraces(t, fmt.Sprintf("%s seed %d (interp vs efsm)", tc.module, seed), a, b)
+				instants := randomInstants(rng, ref, 60, 0.35)
+				want := recordTrace(t, "interp", res.Design, instants)
+				for _, backend := range backends {
+					if backend == "interp" {
+						continue
+					}
+					got := recordTrace(t, backend, res.Design, instants)
+					if err := exec.Diff(want, got); err != nil {
+						t.Errorf("%s seed %d (interp vs %s): %v", tc.module, seed, backend, err)
+					}
+				}
 			}
 		})
 	}
 }
 
-// TestConformanceMinimizedEFSM checks that bisimulation minimization
-// preserves observable behavior: the minimized and unminimized EFSMs
-// produce identical traces.
-func TestConformanceMinimizedEFSM(t *testing.T) {
+// TestConformanceMinimizeShrinks checks that bisimulation minimization
+// never grows the machine (behavior equality is covered by the generic
+// diff above through the efsm-min backend).
+func TestConformanceMinimizeShrinks(t *testing.T) {
+	d := driver.New(0)
+	for _, tc := range conformanceCases {
+		res := d.BuildOne(driver.Request{Path: tc.path, Source: tc.src, Module: tc.module})
+		if res.Failed() {
+			t.Fatalf("build %s: %v", tc.module, res.Err)
+		}
+		min, _ := efsm.Minimize(res.Design.Machine)
+		if got, was := len(min.States), len(res.Design.Machine.States); got > was {
+			t.Errorf("%s: minimize grew the machine: %d -> %d states", tc.module, was, got)
+		}
+	}
+}
+
+// TestConformanceTraceReplay checks the acceptance path end to end: a
+// trace recorded on one backend, serialized to JSONL, read back, and
+// replayed against a different backend reproduces the observations.
+func TestConformanceTraceReplay(t *testing.T) {
+	d := driver.New(0)
+	res := d.BuildOne(driver.Request{Path: "stack.ecl", Source: paperex.Stack, Module: "toplevel"})
+	if res.Failed() {
+		t.Fatalf("build: %v", res.Err)
+	}
+	m, err := exec.Open("efsm", res.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	recorded, err := exec.Record(m, randomInstants(rng, m, 80, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := recorded.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := exec.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"interp", "efsm-min"} {
+		other, err := exec.Open(backend, res.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec.Replay(other, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exec.Diff(back, got); err != nil {
+			t.Errorf("efsm trace replayed on %s: %v", backend, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Generated-Go conformance
+
+// goHarness is the driver compiled next to the generated machine: it
+// reads a canonical JSONL trace on stdin, reacts instant by instant,
+// and writes its own observations as JSONL events on stdout.
+const goHarness = `package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type event struct {
+	I    int               ` + "`json:\"i\"`" + `
+	In   map[string]string ` + "`json:\"in,omitempty\"`" + `
+	Out  map[string]string ` + "`json:\"out,omitempty\"`" + `
+	Term bool              ` + "`json:\"term,omitempty\"`" + `
+}
+
+func main() {
+	m := New()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first { // header
+			first = false
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		in := map[string][]byte{}
+		for name, v := range ev.In {
+			if v == "" {
+				in[name] = nil
+				continue
+			}
+			b, err := hex.DecodeString(strings.TrimPrefix(v, "0x"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			in[name] = b
+		}
+		got := m.React(in)
+		oute := event{I: ev.I, Out: map[string]string{}, Term: m.Done()}
+		for name, b := range got {
+			if b == nil {
+				oute.Out[name] = ""
+			} else {
+				oute.Out[name] = "0x" + hex.EncodeToString(b)
+			}
+		}
+		if err := enc.Encode(oute); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if m.Done() {
+			break
+		}
+	}
+}
+`
+
+// TestConformanceGeneratedGo compiles each module's synthesized Go
+// code with the host toolchain and diffs its trace against the
+// reference interpreter's via the canonical trace format.
+func TestConformanceGeneratedGo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated-Go conformance needs the go toolchain; skipped in -short")
+	}
+	goTool, err := osexec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
 	d := driver.New(0)
 	for _, tc := range conformanceCases {
 		tc := tc
 		t.Run(tc.module, func(t *testing.T) {
-			plain := d.BuildOne(driver.Request{Path: tc.path, Source: tc.src, Module: tc.module})
-			min := d.BuildOne(driver.Request{
+			t.Parallel()
+			res := d.BuildOne(driver.Request{
 				Path: tc.path, Source: tc.src, Module: tc.module,
-				Options: core.Options{Minimize: true},
+				Targets: []driver.Target{driver.TargetGo}, GoPackage: "main",
 			})
-			if plain.Failed() || min.Failed() {
-				t.Fatalf("build: %v / %v", plain.Err, min.Err)
+			if res.Failed() {
+				t.Fatalf("build: %v", res.Err)
 			}
-			if got, was := len(min.Design.Machine.States), len(plain.Design.Machine.States); got > was {
-				t.Errorf("minimize grew the machine: %d -> %d states", was, got)
+			ref, err := exec.Open("interp", res.Design)
+			if err != nil {
+				t.Fatal(err)
 			}
-			rng := rand.New(rand.NewSource(7))
-			// Both designs come from separate parses, so drive each
-			// with its own signal pointers but the same drawn sequence.
-			instantsA := randomInstants(rng, plain.Design.Lowered.Module.Inputs, 60, 0.35)
-			instantsB := remapInstants(instantsA, min.Design.Lowered.Module)
-			a := efsmTrace(t, plain.Design, instantsA)
-			b := efsmTrace(t, min.Design, instantsB)
-			diffTraces(t, tc.module+" (unminimized vs minimized)", a, b)
+			rng := rand.New(rand.NewSource(9))
+			want, err := exec.Record(ref, randomInstants(rng, ref, 40, 0.35))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			files := map[string]string{
+				"go.mod":     "module genconf\n\ngo 1.24\n",
+				"machine.go": res.Artifacts[driver.TargetGo],
+				"main.go":    goHarness,
+			}
+			for name, text := range files {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o666); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stdin bytes.Buffer
+			if err := want.Encode(&stdin); err != nil {
+				t.Fatal(err)
+			}
+			cmd := osexec.Command(goTool, "run", ".")
+			cmd.Dir = dir
+			cmd.Stdin = &stdin
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run: %v\n%s", err, stderr.String())
+			}
+
+			got := exec.NewTrace(tc.module, "gen-go")
+			for _, line := range strings.Split(stdout.String(), "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" {
+					continue
+				}
+				var ev exec.Event
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("harness output %q: %v", line, err)
+				}
+				got.Events = append(got.Events, ev)
+			}
+			if err := exec.Diff(want, got); err != nil {
+				t.Errorf("%s (interp vs generated Go): %v", tc.module, err)
+			}
 		})
 	}
-}
-
-// remapInstants translates an input sequence onto another parse's
-// signal identities by name.
-func remapInstants(instants []map[*kernel.Signal]cval.Value, mod *kernel.Module) []map[*kernel.Signal]cval.Value {
-	out := make([]map[*kernel.Signal]cval.Value, len(instants))
-	for i, in := range instants {
-		m := map[*kernel.Signal]cval.Value{}
-		for s, v := range in {
-			m[mod.Signal(s.Name)] = v
-		}
-		out[i] = m
-	}
-	return out
 }

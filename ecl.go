@@ -20,17 +20,37 @@
 // tasks under a simulated RTOS with MIPS R3000-style cost accounting,
 // which regenerates the paper's Table 1.
 //
+// Execution goes through the unified Machine API: a compiled design
+// opens on any registered backend (the reference interpreter, the
+// compiled EFSM, its minimized variant, or the RTOS system
+// simulation), all stepping one synchronous instant at a time with
+// string-keyed typed signal values. Canonical JSONL traces record,
+// replay, and diff runs across backends, and a Session serves many
+// concurrently stepping machines — with snapshot forking — from one
+// process.
+//
 // Quick start:
 //
 //	prog, err := ecl.Parse("abro.ecl", src, ecl.Options{})
 //	design, err := prog.Compile("abro")
-//	rt := design.Runtime()
-//	out, err := rt.Step(...)
+//	m, err := ecl.OpenMachine("efsm", design) // or "interp", "efsm-min", "sim"
+//	out, err := m.Step(map[string]ecl.Value{"A": {}})
+//
+// The raw design.Runtime() / design.Interpreter() entry points are
+// deprecated in favor of OpenMachine; for many machines at once use
+//
+//	s := ecl.NewSession()
+//	id, err := s.Open("", "efsm", design)
+//	out, err := s.Step(id, inputs)
 package ecl
 
 import (
+	"io"
+
 	"repro/internal/core"
+	"repro/internal/cval"
 	"repro/internal/driver"
+	"repro/internal/exec"
 	"repro/internal/lower"
 	"repro/internal/sim"
 	"repro/internal/source"
@@ -128,6 +148,59 @@ func ParseTargets(s string) ([]Target, error) { return driver.ParseTargets(s) }
 func ExpandModules(req BuildRequest) ([]BuildRequest, error) {
 	return driver.ExpandModules(req)
 }
+
+// Value is a typed runtime signal value (the invalid zero Value marks
+// a pure presence).
+type Value = cval.Value
+
+// Machine is one runnable instance of a compiled design, stepping one
+// synchronous instant at a time with string-keyed signal values. All
+// execution backends implement it.
+type Machine = exec.Machine
+
+// MachineSignal describes one interface signal of a Machine.
+type MachineSignal = exec.Signal
+
+// StepResult reports one executed instant.
+type StepResult = exec.Result
+
+// Trace is a canonical JSONL execution record; traces diff bit-for-bit
+// across backends.
+type Trace = exec.Trace
+
+// TraceEvent is one recorded instant of a Trace.
+type TraceEvent = exec.Event
+
+// Session manages many concurrently stepping machines (id-addressed,
+// independently locked, snapshot-forkable).
+type Session = exec.Session
+
+// OpenMachine instantiates the named execution backend over a compiled
+// design; Backends lists the valid names.
+func OpenMachine(backend string, d *Design) (Machine, error) { return exec.Open(backend, d) }
+
+// Backends lists the registered execution backends.
+func Backends() []string { return exec.Backends() }
+
+// NewSession returns an empty machine session.
+func NewSession() *Session { return exec.NewSession() }
+
+// RecordTrace steps the machine through the input instants and records
+// a canonical trace.
+func RecordTrace(m Machine, instants []map[string]Value) (*Trace, error) {
+	return exec.Record(m, instants)
+}
+
+// ReplayTrace drives the machine with a recorded trace's inputs and
+// returns the trace it actually produced.
+func ReplayTrace(m Machine, t *Trace) (*Trace, error) { return exec.Replay(m, t) }
+
+// DiffTraces compares two traces' observable behavior; nil means they
+// agree.
+func DiffTraces(a, b *Trace) error { return exec.Diff(a, b) }
+
+// ReadTrace parses a JSONL trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return exec.ReadTrace(r) }
 
 // Table1Config sizes the Table 1 workloads.
 type Table1Config = sim.Table1Config

@@ -1,25 +1,13 @@
 package ecl
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
 
-	"repro/internal/ctypes"
-	"repro/internal/cval"
-	"repro/internal/interp"
-	"repro/internal/kernel"
 	"repro/internal/paperex"
 )
-
-// interpInput and efsmInput are shared with bench_test.go.
-func interpInput(sig *kernel.Signal, b byte) interp.Inputs {
-	return interp.Inputs{sig: cval.FromInt(ctypes.UChar, int64(b))}
-}
-
-func efsmInput(sig *kernel.Signal, b byte) map[*kernel.Signal]cval.Value {
-	return map[*kernel.Signal]cval.Value{sig: cval.FromInt(ctypes.UChar, int64(b))}
-}
 
 func TestPublicAPIQuickstart(t *testing.T) {
 	prog, err := Parse("abro.ecl", paperex.ABRO, Options{})
@@ -33,27 +21,97 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt := design.Runtime()
-	if _, err := rt.Step(nil); err != nil {
-		t.Fatal(err)
-	}
-	a := design.Lowered.Module.Signal("A")
-	bSig := design.Lowered.Module.Signal("B")
-	if _, err := rt.Step(map[*kernel.Signal]cval.Value{a: {}}); err != nil {
-		t.Fatal(err)
-	}
-	r, err := rt.Step(map[*kernel.Signal]cval.Value{bSig: {}})
+	m, err := OpenMachine("efsm", design)
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := false
-	for s := range r.Outputs {
-		if s.Name == "O" {
-			found = true
-		}
+	if _, err := m.Step(nil); err != nil {
+		t.Fatal(err)
 	}
-	if !found {
+	if _, err := m.Step(map[string]Value{"A": {}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Step(map[string]Value{"B": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Outputs["O"]; !ok {
 		t.Error("O missing after A then B")
+	}
+}
+
+func TestPublicAPIBackendsAndTraces(t *testing.T) {
+	names := Backends()
+	if len(names) < 4 {
+		t.Fatalf("backends: %v", names)
+	}
+	prog, err := Parse("abro.ecl", paperex.ABRO, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("abro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMachine("interp", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RecordTrace(m, []map[string]Value{nil, {"A": {}}, {"B": {}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := OpenMachine("efsm", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReplayTrace(other, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffTraces(back, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISession(t *testing.T) {
+	prog, err := Parse("abro.ecl", paperex.ABRO, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("abro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession()
+	id, err := s.Open("", "efsm", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(id, map[string]Value{"A": {}}); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := s.Fork(id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Step(fork, map[string]Value{"B": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Outputs["O"]; !ok {
+		t.Errorf("forked machine lost state: %v", r.Outputs)
 	}
 }
 

@@ -7,10 +7,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/cval"
-	"repro/internal/kernel"
+	"repro/internal/exec"
 	"repro/internal/paperex"
 )
 
@@ -27,22 +28,27 @@ func main() {
 	st := design.Stats()
 	fmt.Printf("ABRO compiled: %d EFSM states, %d transitions\n\n", st.EFSM.States, st.EFSM.Leaves)
 
-	// Drive the compiled machine: O must fire once both A and B have
-	// occurred, and R must reset the behavior.
-	rt := design.Runtime()
+	// Drive the compiled machine through the unified execution API: O
+	// must fire once both A and B have occurred, and R must reset the
+	// behavior. (Any backend name from exec.Backends() works here.)
+	m, err := exec.Open("efsm", design)
+	if err != nil {
+		log.Fatal(err)
+	}
 	step := func(names ...string) []string {
-		in := map[*kernel.Signal]cval.Value{}
+		in := map[string]cval.Value{}
 		for _, n := range names {
-			in[design.Lowered.Module.Signal(n)] = cval.Value{}
+			in[n] = cval.Value{}
 		}
-		r, err := rt.Step(in)
+		r, err := m.Step(in)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var out []string
-		for s := range r.Outputs {
-			out = append(out, s.Name)
+		for name := range r.Outputs {
+			out = append(out, name)
 		}
+		sort.Strings(out)
 		return out
 	}
 	fmt.Println("instant 1 (boot):      ", step())

@@ -65,6 +65,65 @@ func (rt *Runtime) SignalValue(s *kernel.Signal) (cval.Value, error) {
 // Charge implements dataexec.Env.
 func (rt *Runtime) Charge(units int) { rt.units += units }
 
+// Snapshot is a deep copy of a runtime's full execution state. It can
+// be restored into the runtime it came from or into a fresh runtime
+// over the same Machine (state-save-and-branch).
+type Snapshot struct {
+	owner   *Machine
+	cur     *State
+	done    bool
+	vars    map[*kernel.Var]cval.Value
+	sigVals map[*kernel.Signal]cval.Value
+}
+
+// Snapshot captures the runtime's current state.
+func (rt *Runtime) Snapshot() *Snapshot {
+	return &Snapshot{
+		owner:   rt.M,
+		cur:     rt.cur,
+		done:    rt.done,
+		vars:    cloneValues(rt.vars),
+		sigVals: cloneValues(rt.sigVals),
+	}
+}
+
+// Restore rewinds the runtime to a snapshot taken from a runtime over
+// the same Machine; a snapshot of a different machine (even a
+// minimized variant of this one) is rejected, since its control states
+// belong to a foreign automaton.
+func (rt *Runtime) Restore(s *Snapshot) error {
+	if s.owner != rt.M {
+		return fmt.Errorf("snapshot belongs to a different machine (%s)", s.owner.Name)
+	}
+	rt.cur = s.cur
+	rt.done = s.done
+	rt.vars = cloneValues(s.vars)
+	rt.sigVals = cloneValues(s.sigVals)
+	return nil
+}
+
+// Reset returns the runtime to the initial state with zeroed stores.
+func (rt *Runtime) Reset() {
+	rt.cur = rt.M.Initial
+	rt.done = false
+	rt.units = 0
+	for v := range rt.vars {
+		rt.vars[v] = cval.New(v.Type)
+	}
+	for s := range rt.sigVals {
+		rt.sigVals[s] = cval.New(s.Type)
+	}
+}
+
+// cloneValues deep-copies a value store.
+func cloneValues[K comparable](src map[K]cval.Value) map[K]cval.Value {
+	out := make(map[K]cval.Value, len(src))
+	for k, v := range src {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
 // StepResult reports one reaction of the runtime.
 type StepResult struct {
 	// Emitted lists all emitted signals in order (locals included).

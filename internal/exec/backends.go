@@ -1,0 +1,235 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cval"
+	"repro/internal/efsm"
+	"repro/internal/interp"
+	"repro/internal/sem"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// The built-in backends. interp is the semantic oracle; efsm is the
+// production software implementation; efsm-min runs the
+// bisimulation-minimized automaton; sim runs the design as a single
+// task under the simulated RTOS (tick-level, not instant-conformant:
+// it boots tasks before the first Step and cannot snapshot).
+func init() {
+	Register(Backend{
+		Name:        "interp",
+		Description: "reference interpreter (Esterel logical semantics, constructive causality)",
+		Conformant:  true,
+		Open: func(d *core.Design) (Machine, error) {
+			mod := d.Lowered.Module
+			return &interpMachine{
+				tbl: newSigTable(mod.Inputs, mod.Outputs),
+				d:   d,
+				m:   d.Interpreter(),
+			}, nil
+		},
+	})
+	Register(Backend{
+		Name:        "efsm",
+		Description: "compiled EFSM software implementation",
+		Conformant:  true,
+		Open: func(d *core.Design) (Machine, error) {
+			return newEFSMMachine("efsm", d, d.Machine), nil
+		},
+	})
+	Register(Backend{
+		Name:        "efsm-min",
+		Description: "compiled EFSM after bisimulation minimization",
+		Conformant:  true,
+		Open: func(d *core.Design) (Machine, error) {
+			return newEFSMMachine("efsm-min", d, minimized(d)), nil
+		},
+	})
+	Register(Backend{
+		Name:        "sim",
+		Description: "single-task system simulation under the RTOS (tick-level; no snapshots)",
+		Conformant:  false,
+		Open:        openSim,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// interp backend
+
+type interpMachine struct {
+	tbl *sigTable
+	d   *core.Design
+	m   *interp.Machine
+}
+
+func (im *interpMachine) Backend() string   { return "interp" }
+func (im *interpMachine) Module() string    { return im.d.Lowered.Module.Name }
+func (im *interpMachine) Inputs() []Signal  { return im.tbl.inputs }
+func (im *interpMachine) Outputs() []Signal { return im.tbl.outputs }
+func (im *interpMachine) Terminated() bool  { return im.m.Terminated() }
+
+func (im *interpMachine) Step(inputs map[string]cval.Value) (*Result, error) {
+	in, err := im.tbl.resolve(inputs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := im.m.React(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outputs: nameOutputs(r.Outputs), Terminated: r.Terminated}, nil
+}
+
+func (im *interpMachine) Reset() error {
+	im.m.Reset()
+	return nil
+}
+
+func (im *interpMachine) Snapshot() (Snapshot, error) { return im.m.Snapshot(), nil }
+
+func (im *interpMachine) Restore(s Snapshot) error {
+	snap, ok := s.(*interp.Snapshot)
+	if !ok {
+		return fmt.Errorf("exec: interp: cannot restore %T", s)
+	}
+	if err := im.m.Restore(snap); err != nil {
+		return fmt.Errorf("exec: interp: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// efsm backends
+
+type efsmMachine struct {
+	name string
+	tbl  *sigTable
+	d    *core.Design
+	rt   *efsm.Runtime
+}
+
+func newEFSMMachine(name string, d *core.Design, m *efsm.Machine) *efsmMachine {
+	return &efsmMachine{
+		name: name,
+		tbl:  newSigTable(m.Mod.Inputs, m.Mod.Outputs),
+		d:    d,
+		rt:   efsm.NewRuntime(m),
+	}
+}
+
+func (em *efsmMachine) Backend() string   { return em.name }
+func (em *efsmMachine) Module() string    { return em.rt.M.Name }
+func (em *efsmMachine) Inputs() []Signal  { return em.tbl.inputs }
+func (em *efsmMachine) Outputs() []Signal { return em.tbl.outputs }
+func (em *efsmMachine) Terminated() bool  { return em.rt.Terminated() }
+
+func (em *efsmMachine) Step(inputs map[string]cval.Value) (*Result, error) {
+	in, err := em.tbl.resolve(inputs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := em.rt.Step(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outputs: nameOutputs(r.Outputs), Terminated: r.Terminated}, nil
+}
+
+func (em *efsmMachine) Reset() error {
+	em.rt.Reset()
+	return nil
+}
+
+func (em *efsmMachine) Snapshot() (Snapshot, error) { return em.rt.Snapshot(), nil }
+
+func (em *efsmMachine) Restore(s Snapshot) error {
+	snap, ok := s.(*efsm.Snapshot)
+	if !ok {
+		return fmt.Errorf("exec: %s: cannot restore %T", em.name, s)
+	}
+	if err := em.rt.Restore(snap); err != nil {
+		return fmt.Errorf("exec: %s: %w", em.name, err)
+	}
+	return nil
+}
+
+// minCache memoizes bisimulation minimization per compiled machine so
+// reopening the efsm-min backend (sessions fork a lot) stays cheap.
+var minCache sync.Map // *efsm.Machine -> *efsm.Machine
+
+func minimized(d *core.Design) *efsm.Machine {
+	if m, ok := minCache.Load(d.Machine); ok {
+		return m.(*efsm.Machine)
+	}
+	min, _ := efsm.Minimize(d.Machine)
+	actual, _ := minCache.LoadOrStore(d.Machine, min)
+	return actual.(*efsm.Machine)
+}
+
+// ---------------------------------------------------------------------------
+// sim backend
+
+type simMachine struct {
+	d   *core.Design
+	sys sim.System
+	tbl *sigTable
+}
+
+// openSim builds a fresh single-task RTOS system over the design's
+// module. The design's own analysis tables were consumed by its
+// lowering, so the system is built from a fresh semantic analysis of
+// the same parsed file.
+func openSim(d *core.Design) (Machine, error) {
+	var diags source.DiagList
+	info := sem.Analyze(d.Program.File, &diags)
+	if diags.HasErrors() {
+		return nil, diags.Err()
+	}
+	sys, err := sim.BuildSync(info, d.Lowered.Module.Name, sim.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("exec: sim: %w", err)
+	}
+	return &simMachine{d: d, sys: sys, tbl: newSigTable(sys.Inputs(), sys.Outputs())}, nil
+}
+
+func (sm *simMachine) Backend() string   { return "sim" }
+func (sm *simMachine) Module() string    { return sm.d.Lowered.Module.Name }
+func (sm *simMachine) Inputs() []Signal  { return sm.tbl.inputs }
+func (sm *simMachine) Outputs() []Signal { return sm.tbl.outputs }
+func (sm *simMachine) Terminated() bool  { return false }
+
+func (sm *simMachine) Step(inputs map[string]cval.Value) (*Result, error) {
+	// Validate through the shared table (the system's own Step takes
+	// string keys already), then translate back for nameOutputs.
+	if _, err := sm.tbl.resolve(inputs); err != nil {
+		return nil, err
+	}
+	outs, err := sm.sys.Step(inputs)
+	if err != nil {
+		return nil, err
+	}
+	named := make(map[string]cval.Value, len(outs))
+	for name, val := range outs {
+		if val.IsValid() {
+			named[name] = val.Clone()
+		} else {
+			named[name] = cval.Value{}
+		}
+	}
+	return &Result{Outputs: named}, nil
+}
+
+func (sm *simMachine) Reset() error {
+	fresh, err := openSim(sm.d)
+	if err != nil {
+		return err
+	}
+	sm.sys = fresh.(*simMachine).sys
+	return nil
+}
+
+func (sm *simMachine) Snapshot() (Snapshot, error) { return nil, ErrUnsupported }
+func (sm *simMachine) Restore(Snapshot) error      { return ErrUnsupported }

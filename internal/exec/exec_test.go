@@ -1,0 +1,389 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cval"
+	"repro/internal/paperex"
+)
+
+func buildDesign(t testing.TB, path, src, module string) *core.Design {
+	t.Helper()
+	prog, err := core.Parse(path, src, core.Options{})
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	design, err := prog.Compile(module)
+	if err != nil {
+		t.Fatalf("compile %s: %v", module, err)
+	}
+	return design
+}
+
+// randomInstantsFor draws a deterministic pseudo-random input sequence
+// from a machine's input descriptors.
+func randomInstantsFor(rng *rand.Rand, m Machine, n int, p float64) []map[string]cval.Value {
+	instants := make([]map[string]cval.Value, n)
+	for i := range instants {
+		in := map[string]cval.Value{}
+		for _, sig := range m.Inputs() {
+			if rng.Float64() >= p {
+				continue
+			}
+			var v cval.Value
+			if !sig.Pure && sig.Type != nil {
+				v = cval.FromInt(sig.Type, int64(rng.Intn(256)))
+			}
+			in[sig.Name] = v
+		}
+		instants[i] = in
+	}
+	return instants
+}
+
+func TestRegistry(t *testing.T) {
+	names := Backends()
+	for _, want := range []string{"interp", "efsm", "efsm-min", "sim"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("backend %q not registered (have %v)", want, names)
+		}
+	}
+	for _, n := range ConformantBackends() {
+		if n == "sim" {
+			t.Error("sim must not be conformant (tick semantics, boot reaction)")
+		}
+	}
+	if _, err := Open("no-such-backend", nil); err == nil || !strings.Contains(err.Error(), "interp") {
+		t.Errorf("unknown backend error should list the registry: %v", err)
+	}
+}
+
+// TestMachineABRO drives every conformant backend through ABRO's
+// defining scenario via the unified string-keyed interface.
+func TestMachineABRO(t *testing.T) {
+	design := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	for _, backend := range ConformantBackends() {
+		t.Run(backend, func(t *testing.T) {
+			m, err := Open(backend, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Module() != "abro" || m.Backend() != backend {
+				t.Fatalf("identity: module=%q backend=%q", m.Module(), m.Backend())
+			}
+			if len(m.Inputs()) != 3 || len(m.Outputs()) != 1 {
+				t.Fatalf("interface: %d inputs, %d outputs", len(m.Inputs()), len(m.Outputs()))
+			}
+			step := func(names ...string) *Result {
+				in := map[string]cval.Value{}
+				for _, n := range names {
+					in[n] = cval.Value{}
+				}
+				res, err := m.Step(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			step()
+			step("A")
+			if res := step("B"); len(res.Outputs) != 1 {
+				t.Fatalf("O expected after A then B, got %v", res.Outputs)
+			} else if _, ok := res.Outputs["O"]; !ok {
+				t.Fatalf("O expected, got %v", res.Outputs)
+			}
+			if res := step("A", "B"); len(res.Outputs) != 0 {
+				t.Fatalf("no output expected before reset, got %v", res.Outputs)
+			}
+			step("R")
+			if res := step("A", "B"); len(res.Outputs) != 1 {
+				t.Fatalf("O expected after reset, got %v", res.Outputs)
+			}
+
+			// Reset rewinds to boot.
+			if err := m.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			step()
+			step("A")
+			if res := step("B"); len(res.Outputs) != 1 {
+				t.Fatalf("O expected after Reset, got %v", res.Outputs)
+			}
+		})
+	}
+}
+
+func TestStepRejectsBadInputs(t *testing.T) {
+	design := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			m, err := Open(backend, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = m.Step(map[string]cval.Value{"NOPE": {}})
+			var ue *UnknownInputError
+			if !errors.As(err, &ue) {
+				t.Fatalf("want UnknownInputError, got %v", err)
+			}
+			for _, name := range []string{"A", "B", "R"} {
+				found := false
+				for _, v := range ue.Valid {
+					if v == name {
+						found = true
+					}
+				}
+				if !found || !strings.Contains(err.Error(), name) {
+					t.Errorf("error should list input %s: %v", name, err)
+				}
+			}
+			// A value on a pure signal is rejected too.
+			_, err = m.Step(map[string]cval.Value{"A": cval.FromBool(true)})
+			var pe *PureValueError
+			if !errors.As(err, &pe) {
+				t.Errorf("want PureValueError, got %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotBranch checks state save-and-branch: after a restore the
+// machine replays the same future, for both snapshotting backends.
+func TestSnapshotBranch(t *testing.T) {
+	design := buildDesign(t, "stack.ecl", paperex.Stack, "toplevel")
+	for _, backend := range ConformantBackends() {
+		t.Run(backend, func(t *testing.T) {
+			m, err := Open(backend, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			prefix := randomInstantsFor(rng, m, 20, 0.4)
+			suffix := randomInstantsFor(rng, m, 20, 0.4)
+			if _, err := Record(m, prefix); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := m.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := Record(m, suffix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			second, err := Record(m, suffix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Diff(first, second); err != nil {
+				t.Fatalf("snapshot/restore not transparent: %v", err)
+			}
+		})
+	}
+
+	// The sim backend declares snapshots unsupported.
+	m, err := Open("sim", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("sim snapshot: want ErrUnsupported, got %v", err)
+	}
+
+	// A snapshot must not restore into a machine over a different
+	// automaton: a separate parse of the same source has foreign signal
+	// and state identities.
+	other := buildDesign(t, "stack.ecl", paperex.Stack, "toplevel")
+	for _, backend := range []string{"interp", "efsm"} {
+		a, err := Open(backend, design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Open(backend, other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Restore(snap); err == nil {
+			t.Errorf("%s: snapshot restored into a machine over a different parse", backend)
+		}
+	}
+}
+
+func TestTraceRoundTripAndReplay(t *testing.T) {
+	design := buildDesign(t, "buffer.ecl", paperex.Buffer, "bufferctl")
+	m, err := Open("efsm", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	instants := randomInstantsFor(rng, m, 50, 0.35)
+	recorded, err := Record(m, instants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Module != "bufferctl" || recorded.Backend != "efsm" {
+		t.Fatalf("trace header: %+v", recorded)
+	}
+
+	// JSONL round trip.
+	var buf bytes.Buffer
+	if err := recorded.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Module != recorded.Module || len(back.Events) != len(recorded.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(recorded.Events))
+	}
+	if err := Diff(recorded, back); err != nil {
+		t.Fatalf("round trip changed observations: %v", err)
+	}
+
+	// Replay against a different backend must agree.
+	ref, err := Open("interp", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(ref, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Diff(back, got); err != nil {
+		t.Fatalf("interp replay diverged: %v", err)
+	}
+}
+
+func TestWithHook(t *testing.T) {
+	design := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	inner, err := Open("efsm", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m := WithHook(inner, func(ev Event) { events = append(events, ev) })
+	if _, err := m.Step(nil); err != nil { // boot instant (await is delayed)
+		t.Fatal(err)
+	}
+	if _, err := m.Step(map[string]cval.Value{"A": {}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(map[string]cval.Value{"B": {}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[0].Instant != 0 || events[2].Instant != 2 {
+		t.Fatalf("hook events: %+v", events)
+	}
+	if _, ok := events[2].Outputs["O"]; !ok {
+		t.Fatalf("hook missed output: %+v", events[2])
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if last := events[len(events)-1]; last.Instant != 0 {
+		t.Fatalf("reset should rewind hook instants: %+v", last)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	design := buildDesign(t, "stack.ecl", paperex.Stack, "toplevel")
+	m, err := Open("efsm", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ParseScriptLine(m, "in_byte=0x41  # one byte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := in["in_byte"]
+	if !ok || !v.IsValid() || v.Int() != 0x41 {
+		t.Fatalf("parsed instant: %v", in)
+	}
+	if _, err := ParseScriptLine(m, "bogus"); err == nil ||
+		!strings.Contains(err.Error(), "in_byte") {
+		t.Errorf("unknown input should list valid names: %v", err)
+	}
+	if in, err := ParseScriptLine(m, "   # idle"); err != nil || len(in) != 0 {
+		t.Errorf("comment line: %v %v", in, err)
+	}
+}
+
+// TestSimBackend checks the RTOS adaptation end to end: a packet
+// pushed through the stack's single-task system emits the same byte
+// stream the EFSM emits (per-tick delivery order aside, the sync
+// system is the same machine under the RTOS).
+func TestSimBackend(t *testing.T) {
+	design := buildDesign(t, "stack.ecl", paperex.Stack, "toplevel")
+	m, err := Open("sim", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Inputs()) == 0 || len(m.Outputs()) == 0 {
+		t.Fatalf("sim interface empty: %v %v", m.Inputs(), m.Outputs())
+	}
+	var inByte Signal
+	for _, s := range m.Inputs() {
+		if s.Name == "in_byte" {
+			inByte = s
+		}
+	}
+	if inByte.Type == nil {
+		t.Fatalf("in_byte missing from sim inputs: %v", m.Inputs())
+	}
+	pkt := paperex.MakePacket(true)
+	var emitted int
+	if _, err := m.Step(nil); err != nil { // boot tick
+		t.Fatal(err)
+	}
+	for j := 0; j < paperex.PktSize; j++ {
+		res, err := m.Step(map[string]cval.Value{
+			"in_byte": cval.FromInt(inByte.Type, int64(pkt[j])),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted += len(res.Outputs)
+	}
+	// The header scan needs a short inter-packet gap to finish.
+	for j := 0; j < paperex.HdrSize+2; j++ {
+		res, err := m.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted += len(res.Outputs)
+	}
+	if emitted == 0 {
+		t.Error("good packet produced no outputs through the sim backend")
+	}
+	// The design's own analysis tables must survive a sim open: the
+	// efsm backend still works afterwards.
+	em, err := Open("efsm", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cval"
+)
+
+// ParseScriptLine parses one eclsim script line into an input instant
+// for the machine: a whitespace-separated list of present inputs, with
+// values as name=int for valued signals; '#' starts a comment; a blank
+// line is an idle instant. Unknown signal names and values on pure
+// signals are rejected with the machine's valid input list.
+func ParseScriptLine(m Machine, line string) (map[string]cval.Value, error) {
+	if idx := strings.IndexByte(line, '#'); idx >= 0 {
+		line = line[:idx]
+	}
+	sigs := make(map[string]Signal, len(m.Inputs()))
+	names := make([]string, 0, len(m.Inputs()))
+	for _, s := range m.Inputs() {
+		sigs[s.Name] = s
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	in := map[string]cval.Value{}
+	for _, tok := range strings.Fields(line) {
+		name, valText, hasVal := strings.Cut(tok, "=")
+		sig, ok := sigs[name]
+		if !ok {
+			return nil, &UnknownInputError{Name: name, Valid: names}
+		}
+		var v cval.Value
+		if hasVal {
+			if sig.Pure {
+				return nil, &PureValueError{Name: name}
+			}
+			x, err := strconv.ParseInt(valText, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q for input %s", valText, name)
+			}
+			v = cval.FromInt(sig.Type, x)
+		}
+		in[name] = v
+	}
+	return in, nil
+}
+
+// ParseScript parses a whole script, one instant per line.
+func ParseScript(m Machine, lines []string) ([]map[string]cval.Value, error) {
+	instants := make([]map[string]cval.Value, len(lines))
+	for i, line := range lines {
+		in, err := ParseScriptLine(m, line)
+		if err != nil {
+			return nil, fmt.Errorf("instant %d: %w", i, err)
+		}
+		instants[i] = in
+	}
+	return instants, nil
+}

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cval"
+)
+
+// Session manages many independently stepping machines in one process
+// — the serving substrate for concurrent simulations. Machines are
+// id-addressed; each is guarded by its own mutex, so different
+// machines step fully in parallel while a single machine's instants
+// stay serialized. Snapshot-capable backends support forking: a forked
+// machine is a fresh instance restored to the source's state, after
+// which the two branch independently.
+//
+// A Session is safe for concurrent use.
+type Session struct {
+	mu      sync.Mutex
+	entries map[string]*sessionEntry
+	nextID  int
+}
+
+type sessionEntry struct {
+	mu      sync.Mutex
+	backend string
+	design  *core.Design
+	m       Machine
+	instant int
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{entries: map[string]*sessionEntry{}}
+}
+
+// Open instantiates a machine of the named backend over the design and
+// registers it under id (empty id allocates "m0", "m1", …). It returns
+// the id the machine is addressable under.
+func (s *Session) Open(id, backend string, d *core.Design) (string, error) {
+	m, err := Open(backend, d)
+	if err != nil {
+		return "", err
+	}
+	return s.add(id, &sessionEntry{backend: backend, design: d, m: m})
+}
+
+// add registers a fully initialized entry; other goroutines can only
+// address the machine once it is in the map.
+func (s *Session) add(id string, e *sessionEntry) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		id = fmt.Sprintf("m%d", s.nextID)
+		s.nextID++
+	}
+	if _, dup := s.entries[id]; dup {
+		return "", fmt.Errorf("session: machine %q already exists", id)
+	}
+	s.entries[id] = e
+	return id, nil
+}
+
+// lookup finds an entry under the session lock.
+func (s *Session) lookup(id string) (*sessionEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("session: no machine %q", id)
+	}
+	return e, nil
+}
+
+// Step runs one instant of the identified machine.
+func (s *Session) Step(id string, inputs map[string]cval.Value) (*Result, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, err := e.m.Step(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
+	}
+	e.instant++
+	return res, nil
+}
+
+// Instant returns how many instants the machine has executed.
+func (s *Session) Instant(id string) (int, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.instant, nil
+}
+
+// Terminated reports whether the identified machine has finished.
+func (s *Session) Terminated(id string) (bool, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.Terminated(), nil
+}
+
+// Reset rewinds the identified machine to its boot state.
+func (s *Session) Reset(id string) error {
+	e, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.m.Reset(); err != nil {
+		return err
+	}
+	e.instant = 0
+	return nil
+}
+
+// Fork snapshots the src machine and opens a fresh machine of the same
+// backend restored to that state under dst (empty dst allocates an
+// id). The two machines then evolve independently. Backends without
+// snapshot support return ErrUnsupported. The forked machine is fully
+// restored before it becomes addressable, so a concurrent Step can
+// never observe it in boot state.
+func (s *Session) Fork(src, dst string) (string, error) {
+	e, err := s.lookup(src)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	snap, err := e.m.Snapshot()
+	instant := e.instant
+	e.mu.Unlock()
+	if err != nil {
+		return "", fmt.Errorf("session: fork %q: %w", src, err)
+	}
+	m, err := Open(e.backend, e.design)
+	if err != nil {
+		return "", err
+	}
+	if err := m.Restore(snap); err != nil {
+		return "", fmt.Errorf("session: fork %q: %w", src, err)
+	}
+	return s.add(dst, &sessionEntry{backend: e.backend, design: e.design, m: m, instant: instant})
+}
+
+// Close removes the identified machine.
+func (s *Session) Close(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; !ok {
+		return fmt.Errorf("session: no machine %q", id)
+	}
+	delete(s.entries, id)
+	return nil
+}
+
+// IDs lists the session's machine ids, sorted.
+func (s *Session) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len reports how many machines the session holds.
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cval"
+	"repro/internal/paperex"
+)
+
+// TestSessionConcurrentSteps serves many independent simulations from
+// one session: machines of different backends over different designs,
+// stepped from concurrent goroutines (the -race run is the point).
+func TestSessionConcurrentSteps(t *testing.T) {
+	abro := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	stack := buildDesign(t, "stack.ecl", paperex.Stack, "toplevel")
+	s := NewSession()
+
+	type job struct {
+		id     string
+		design string
+	}
+	var jobs []job
+	for i := 0; i < 4; i++ {
+		for _, backend := range []string{"interp", "efsm", "efsm-min"} {
+			id, err := s.Open("", backend, abro)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job{id, "abro"})
+			id, err = s.Open(fmt.Sprintf("stack-%s-%d", backend, i), backend, stack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job{id, "stack"})
+		}
+	}
+	if s.Len() != len(jobs) {
+		t.Fatalf("session holds %d machines, want %d", s.Len(), len(jobs))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for w, jb := range jobs {
+		wg.Add(1)
+		go func(w int, jb job) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				in := map[string]cval.Value{}
+				if jb.design == "abro" {
+					for _, name := range []string{"A", "B", "R"} {
+						if rng.Intn(2) == 1 {
+							in[name] = cval.Value{}
+						}
+					}
+				}
+				if _, err := s.Step(jb.id, in); err != nil {
+					errs <- fmt.Errorf("%s: %w", jb.id, err)
+					return
+				}
+			}
+		}(w, jb)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for _, jb := range jobs {
+		n, err := s.Instant(jb.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 40 {
+			t.Errorf("%s: %d instants, want 40", jb.id, n)
+		}
+	}
+}
+
+// TestSessionFork branches one simulation mid-run and checks the two
+// branches evolve independently from the shared snapshot point.
+func TestSessionFork(t *testing.T) {
+	abro := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	s := NewSession()
+	id, err := s.Open("root", "efsm", abro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm A: the fork point is after A has been seen.
+	if _, err := s.Step(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(id, map[string]cval.Value{"A": {}}); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := s.Fork(id, "branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork != "branch" {
+		t.Fatalf("fork id %q", fork)
+	}
+	if n, _ := s.Instant(fork); n != 2 {
+		t.Fatalf("fork inherits instant count, got %d", n)
+	}
+
+	// The branch completes AB and emits O; the root instead resets, so
+	// its B alone must NOT emit.
+	res, err := s.Step(fork, map[string]cval.Value{"B": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Outputs["O"]; !ok {
+		t.Fatalf("fork lost the snapshot state: %v", res.Outputs)
+	}
+	if _, err := s.Step(id, map[string]cval.Value{"R": {}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Step(id, map[string]cval.Value{"B": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 0 {
+		t.Fatalf("root affected by fork: %v", res.Outputs)
+	}
+
+	if got := s.IDs(); len(got) != 2 || got[0] != "branch" || got[1] != "root" {
+		t.Fatalf("ids: %v", got)
+	}
+	if err := s.Close(fork); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(fork, nil); err == nil {
+		t.Error("stepping a closed machine should fail")
+	}
+
+	// Forking a snapshot-less backend reports ErrUnsupported.
+	simID, err := s.Open("", "sim", abro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fork(simID, ""); err == nil {
+		t.Error("sim fork should fail")
+	}
+}
+
+// TestSessionConcurrentForks hammers fork/step/close from many
+// goroutines on one shared source machine.
+func TestSessionConcurrentForks(t *testing.T) {
+	abro := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	s := NewSession()
+	if _, err := s.Open("src", "interp", abro); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step("src", nil); err != nil { // boot instant
+		t.Fatal(err)
+	}
+	if _, err := s.Step("src", map[string]cval.Value{"A": {}}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id, err := s.Fork("src", "")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := s.Step(id, map[string]cval.Value{"B": {}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := res.Outputs["O"]; !ok {
+					t.Errorf("fork %s missing O", id)
+					return
+				}
+				if err := s.Close(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,347 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ctypes"
+	"repro/internal/cval"
+)
+
+// TraceVersion is the current trace format version.
+const TraceVersion = 1
+
+// Event is one recorded instant. Signal values are encoded as strings:
+// "" for a pure (valueless) presence, "0x…" for a valued signal's raw
+// big-endian bytes — the same layout cval uses and generated code
+// computes, so traces diff bit-for-bit across engines and languages.
+type Event struct {
+	// Instant is the zero-based instant index.
+	Instant int `json:"i"`
+	// Inputs maps present input names to encoded values.
+	Inputs map[string]string `json:"in,omitempty"`
+	// Outputs maps emitted output names to encoded values.
+	Outputs map[string]string `json:"out,omitempty"`
+	// Terminated marks the program's final instant.
+	Terminated bool `json:"term,omitempty"`
+}
+
+// Trace is a canonical execution record: which module ran, on which
+// backend, and what each instant consumed and emitted. On disk it is
+// JSONL: a header object line followed by one Event object per line.
+type Trace struct {
+	// Version is the format version (TraceVersion).
+	Version int `json:"v"`
+	// Module names the executed module.
+	Module string `json:"module"`
+	// Backend names the engine that produced the trace.
+	Backend string `json:"backend"`
+
+	// Events are the recorded instants, in order.
+	Events []Event `json:"-"`
+}
+
+// NewTrace starts an empty trace.
+func NewTrace(module, backend string) *Trace {
+	return &Trace{Version: TraceVersion, Module: module, Backend: backend}
+}
+
+// Append records one executed instant.
+func (t *Trace) Append(inputs map[string]cval.Value, res *Result) {
+	t.Events = append(t.Events, Event{
+		Instant:    len(t.Events),
+		Inputs:     EncodeInstant(inputs),
+		Outputs:    EncodeInstant(res.Outputs),
+		Terminated: res.Terminated,
+	})
+}
+
+// Encode serializes the trace as JSONL.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t *Trace
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if t == nil {
+			t = &Trace{}
+			if err := json.Unmarshal([]byte(line), t); err != nil {
+				return nil, fmt.Errorf("trace header: %w", err)
+			}
+			if t.Version != TraceVersion {
+				return nil, fmt.Errorf("trace version %d not supported (want %d)", t.Version, TraceVersion)
+			}
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("trace event %d: %w", len(t.Events), err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("empty trace")
+	}
+	return t, nil
+}
+
+// EncodeValue renders a signal value canonically: "" for a pure
+// presence, "0x…" hex of the big-endian bytes otherwise.
+func EncodeValue(v cval.Value) string {
+	if !v.IsValid() {
+		return ""
+	}
+	return "0x" + hex.EncodeToString(v.B)
+}
+
+// DecodeValue parses an encoded value against the signal's type; ""
+// yields the invalid (pure-presence) value.
+func DecodeValue(t ctypes.Type, s string) (cval.Value, error) {
+	if s == "" {
+		return cval.Value{}, nil
+	}
+	if t == nil {
+		return cval.Value{}, fmt.Errorf("value %q for a pure signal", s)
+	}
+	b, err := hex.DecodeString(strings.TrimPrefix(s, "0x"))
+	if err != nil {
+		return cval.Value{}, fmt.Errorf("bad value %q: %w", s, err)
+	}
+	if len(b) != t.Size() {
+		return cval.Value{}, fmt.Errorf("value %q: %d bytes for %s (want %d)", s, len(b), t, t.Size())
+	}
+	return cval.Value{Type: t, B: b}, nil
+}
+
+// EncodeInstant renders one instant's signal map.
+func EncodeInstant(in map[string]cval.Value) map[string]string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(in))
+	for name, v := range in {
+		out[name] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeInstant parses one instant's input map against a machine's
+// input signal types.
+func DecodeInstant(m Machine, in map[string]string) (map[string]cval.Value, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	types := make(map[string]ctypes.Type, len(m.Inputs()))
+	names := make([]string, 0, len(m.Inputs()))
+	for _, s := range m.Inputs() {
+		types[s.Name] = s.Type
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	out := make(map[string]cval.Value, len(in))
+	for name, enc := range in {
+		t, ok := types[name]
+		if !ok {
+			return nil, &UnknownInputError{Name: name, Valid: names}
+		}
+		v, err := DecodeValue(t, enc)
+		if err != nil {
+			return nil, fmt.Errorf("input %s: %w", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// Record steps the machine through the input instants, recording a
+// trace. Recording stops after the instant in which the program
+// terminates (that instant is included).
+func Record(m Machine, instants []map[string]cval.Value) (*Trace, error) {
+	t := NewTrace(m.Module(), m.Backend())
+	for i, in := range instants {
+		res, err := m.Step(in)
+		if err != nil {
+			return nil, fmt.Errorf("instant %d: %w", i, err)
+		}
+		t.Append(in, res)
+		if res.Terminated {
+			break
+		}
+	}
+	return t, nil
+}
+
+// Replay drives the machine with a recorded trace's inputs and returns
+// the trace the machine actually produced; Diff the two to check
+// cross-backend agreement.
+func Replay(m Machine, t *Trace) (*Trace, error) {
+	got := NewTrace(m.Module(), m.Backend())
+	for _, ev := range t.Events {
+		in, err := DecodeInstant(m, ev.Inputs)
+		if err != nil {
+			return nil, fmt.Errorf("instant %d: %w", ev.Instant, err)
+		}
+		res, err := m.Step(in)
+		if err != nil {
+			return nil, fmt.Errorf("instant %d: %w", ev.Instant, err)
+		}
+		got.Append(in, res)
+		if res.Terminated {
+			break
+		}
+	}
+	return got, nil
+}
+
+// Hook observes executed instants as canonical trace events.
+type Hook func(Event)
+
+// WithHook wraps a machine so every successful Step also feeds the
+// hook one encoded Event — the pluggable observation point trace
+// recording, monitors, and debuggers share. Reset rewinds the instant
+// counter.
+func WithHook(m Machine, hook Hook) Machine {
+	return &hookedMachine{Machine: m, hook: hook}
+}
+
+type hookedMachine struct {
+	Machine
+	hook    Hook
+	instant int
+}
+
+func (h *hookedMachine) Step(inputs map[string]cval.Value) (*Result, error) {
+	res, err := h.Machine.Step(inputs)
+	if err != nil {
+		return nil, err
+	}
+	h.hook(Event{
+		Instant:    h.instant,
+		Inputs:     EncodeInstant(inputs),
+		Outputs:    EncodeInstant(res.Outputs),
+		Terminated: res.Terminated,
+	})
+	h.instant++
+	return res, nil
+}
+
+func (h *hookedMachine) Reset() error {
+	if err := h.Machine.Reset(); err != nil {
+		return err
+	}
+	h.instant = 0
+	return nil
+}
+
+// hookedSnapshot pairs the inner snapshot with the instant counter so
+// hook events stay correctly numbered across a restore.
+type hookedSnapshot struct {
+	inner   Snapshot
+	instant int
+}
+
+func (h *hookedMachine) Snapshot() (Snapshot, error) {
+	inner, err := h.Machine.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &hookedSnapshot{inner: inner, instant: h.instant}, nil
+}
+
+func (h *hookedMachine) Restore(s Snapshot) error {
+	hs, ok := s.(*hookedSnapshot)
+	if !ok {
+		return fmt.Errorf("exec: hooked machine: cannot restore %T", s)
+	}
+	if err := h.Machine.Restore(hs.inner); err != nil {
+		return err
+	}
+	h.instant = hs.instant
+	return nil
+}
+
+// DiffError reports the first observable divergence between two
+// traces.
+type DiffError struct {
+	// Instant is the diverging instant index (-1 for a length
+	// mismatch).
+	Instant int
+	// A and B describe each side's observation at that instant.
+	A, B string
+}
+
+// Error renders the divergence.
+func (e *DiffError) Error() string {
+	if e.Instant < 0 {
+		return fmt.Sprintf("trace lengths differ: %s vs %s", e.A, e.B)
+	}
+	return fmt.Sprintf("instant %d differs:\n  A: [%s]\n  B: [%s]", e.Instant, e.A, e.B)
+}
+
+// Diff compares the observable behavior of two traces — emitted
+// outputs and termination, instant by instant — and returns a
+// *DiffError on the first divergence (inputs are provenance, not
+// compared). A nil return means the traces agree.
+func Diff(a, b *Trace) error {
+	n := len(a.Events)
+	if len(b.Events) != n {
+		return &DiffError{
+			Instant: -1,
+			A:       fmt.Sprintf("%d instants (%s)", len(a.Events), a.Backend),
+			B:       fmt.Sprintf("%d instants (%s)", len(b.Events), b.Backend),
+		}
+	}
+	for i := 0; i < n; i++ {
+		ea, eb := a.Events[i], b.Events[i]
+		sa := ObservationString(ea.Outputs, ea.Terminated)
+		sb := ObservationString(eb.Outputs, eb.Terminated)
+		if sa != sb {
+			return &DiffError{Instant: i, A: sa, B: sb}
+		}
+	}
+	return nil
+}
+
+// ObservationString renders one instant's observable behavior
+// canonically (sorted "name=value" list, plus a termination marker).
+func ObservationString(outputs map[string]string, terminated bool) string {
+	parts := make([]string, 0, len(outputs)+1)
+	for name, v := range outputs {
+		if v == "" {
+			parts = append(parts, name)
+		} else {
+			parts = append(parts, name+"="+v)
+		}
+	}
+	sort.Strings(parts)
+	if terminated {
+		parts = append(parts, "<terminated>")
+	}
+	return strings.Join(parts, " ")
+}

@@ -184,6 +184,71 @@ func (m *Machine) SignalValue(s *kernel.Signal) (cval.Value, error) {
 // Charge implements dataexec.Env.
 func (m *Machine) Charge(units int) { m.units += units }
 
+// Snapshot is a deep copy of a machine's full execution state: the
+// control residue plus every variable and signal-value store. It can
+// be restored into the machine it came from or into any fresh machine
+// over the same compiled module (same signal/variable identities),
+// which is what lets sessions fork a simulation mid-run.
+type Snapshot struct {
+	owner   *kernel.Module
+	state   *State
+	started bool
+	done    bool
+	vars    map[*kernel.Var]cval.Value
+	sigVals map[*kernel.Signal]cval.Value
+}
+
+// Snapshot captures the machine's current state.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		owner:   m.Mod,
+		state:   m.state.Clone(),
+		started: m.started,
+		done:    m.done,
+		vars:    cloneValues(m.vars),
+		sigVals: cloneValues(m.sigVals),
+	}
+}
+
+// Restore rewinds the machine to a snapshot taken from a machine over
+// the same module; a snapshot of a different module instance is
+// rejected, since its state is keyed by foreign node and signal
+// identities.
+func (m *Machine) Restore(s *Snapshot) error {
+	if s.owner != m.Mod {
+		return fmt.Errorf("snapshot belongs to a different module instance (%s)", s.owner.Name)
+	}
+	m.state = s.state.Clone()
+	m.started = s.started
+	m.done = s.done
+	m.vars = cloneValues(s.vars)
+	m.sigVals = cloneValues(s.sigVals)
+	return nil
+}
+
+// Reset returns the machine to its boot state with zeroed stores.
+func (m *Machine) Reset() {
+	m.state = NewState()
+	m.started = false
+	m.done = false
+	m.units = 0
+	for v := range m.vars {
+		m.vars[v] = cval.New(v.Type)
+	}
+	for s := range m.sigVals {
+		m.sigVals[s] = cval.New(s.Type)
+	}
+}
+
+// cloneValues deep-copies a value store.
+func cloneValues[K comparable](src map[K]cval.Value) map[K]cval.Value {
+	out := make(map[K]cval.Value, len(src))
+	for k, v := range src {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
 // SetVar overwrites a variable (testing hook).
 func (m *Machine) SetVar(name string, v cval.Value) error {
 	for kv := range m.vars {

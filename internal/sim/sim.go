@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/compile"
@@ -54,6 +55,10 @@ type System interface {
 	Step(inputs map[string]cval.Value) (map[string]cval.Value, error)
 	// Metrics returns the accumulated measurements.
 	Metrics() Metrics
+	// Inputs lists the design's environment-facing input signals.
+	Inputs() []*kernel.Signal
+	// Outputs lists the design's environment-facing output signals.
+	Outputs() []*kernel.Signal
 }
 
 // Instance is one module instantiation of the top-level par.
@@ -230,6 +235,26 @@ func (s *system) boot() error {
 	}
 	s.kern.ResetCounters()
 	return nil
+}
+
+// Inputs implements System.
+func (s *system) Inputs() []*kernel.Signal {
+	out := make([]*kernel.Signal, 0, len(s.inputs))
+	for _, sig := range s.inputs {
+		out = append(out, sig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Outputs implements System.
+func (s *system) Outputs() []*kernel.Signal {
+	out := make([]*kernel.Signal, 0, len(s.outs))
+	for sig := range s.outs {
+		out = append(out, sig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Metrics implements System.
