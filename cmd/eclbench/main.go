@@ -6,6 +6,16 @@
 // Usage:
 //
 //	eclbench [-packets 500] [-messages 8] [-samples 48] [-figures]
+//
+// It is also CI's benchmark-artifact tool:
+//
+//	go test -run '^$' -bench . -benchtime 1x -json ./... | eclbench -json -o BENCH_PR3.json
+//	eclbench -compare [-max-regress 30] BENCH_PR2.json BENCH_PR3.json
+//
+// -json converts a `go test -json` benchmark stream (stdin) into the
+// compact committed artifact; -compare exits non-zero when the new
+// artifact's Step-throughput (BenchmarkStepPacket/*) regressed past
+// the threshold against the old one.
 package main
 
 import (
@@ -14,6 +24,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/benchfmt"
+	"repro/internal/cache"
 	"repro/internal/driver"
 	"repro/internal/paperex"
 	"repro/internal/sim"
@@ -24,7 +36,21 @@ func main() {
 	messages := flag.Int("messages", 8, "buffer testbench messages")
 	samples := flag.Int("samples", 48, "samples per message")
 	figures := flag.Bool("figures", false, "also print per-figure compilation stats")
+	jsonMode := flag.Bool("json", false, "convert a `go test -json` bench stream (stdin) to a bench artifact")
+	jsonOut := flag.String("o", "", "artifact output file for -json (default stdout)")
+	compareMode := flag.Bool("compare", false, "compare two bench artifacts (old new) for Step-throughput regressions")
+	maxRegress := flag.Float64("max-regress", 30, "compare: allowed Step-throughput slowdown in percent")
+	noDiskCache := flag.Bool("no-disk-cache", false, "disable the persistent artifact cache for -figures")
 	flag.Parse()
+
+	if *jsonMode {
+		convertBench(*jsonOut)
+		return
+	}
+	if *compareMode {
+		compareBench(flag.Args(), *maxRegress)
+		return
+	}
 
 	cfg := sim.DefaultTable1Config()
 	cfg.Packets = *packets
@@ -48,11 +74,66 @@ func main() {
 
 	if *figures {
 		fmt.Println("\nPer-figure compilation statistics:")
-		figureStats()
+		figureStats(*noDiskCache)
 	}
 }
 
-func figureStats() {
+// convertBench turns a `go test -json` stream on stdin into the
+// committed artifact format.
+func convertBench(outPath string) {
+	rep, err := benchfmt.ParseTestJSON(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.Write(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "eclbench: %d benchmark results recorded\n", len(rep.Benchmarks))
+}
+
+// compareBench gates Step-throughput between two artifacts, exiting 1
+// on regression.
+func compareBench(args []string, maxRegress float64) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("usage: eclbench -compare [-max-regress pct] old.json new.json"))
+	}
+	read := func(path string) *benchfmt.Report {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rep, err := benchfmt.ReadReport(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		return rep
+	}
+	cmp, err := benchfmt.CompareStep(read(args[0]), read(args[1]), maxRegress)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(cmp.Format())
+	if cmp.Regressed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eclbench:", err)
+	os.Exit(1)
+}
+
+func figureStats(noDiskCache bool) {
 	cases := []struct {
 		fig, module, src string
 	}{
@@ -70,8 +151,15 @@ func figureStats() {
 			Targets: []driver.Target{driver.TargetStats},
 		}
 	}
-	// All four figures compile concurrently over the driver's pool.
-	results, _ := driver.New(0).Build(context.Background(), reqs)
+	// All four figures compile concurrently over the driver's pool,
+	// with the stats artifacts persisted across invocations.
+	d := driver.New(0)
+	if !noDiskCache {
+		if store, err := cache.Open(""); err == nil {
+			d.Disk = store
+		}
+	}
+	results, _ := d.Build(context.Background(), reqs)
 	for i, res := range results {
 		if res.Failed() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", cases[i].fig, res.Err)

@@ -15,6 +15,15 @@
 // Targets (comma separated): esterel, c, go, glue, dot, verilog, vhdl,
 // stats. Default: esterel,c,glue,stats written to the output directory
 // (default ".").
+//
+// Builds go through a two-tier cache: the in-process design cache plus
+// a persistent on-disk artifact store (default $ECL_CACHE_DIR, else
+// the user cache dir), so a second eclc invocation over unchanged
+// sources is near-free. -no-disk-cache opts out, -cache-dir relocates
+// the store, and -cache-stats reports both tiers' hit rates. The store
+// itself is managed with the cache subcommand:
+//
+//	eclc cache stats|gc|clear [-cache-dir dir] [-max-bytes n] [-max-age d]
 package main
 
 import (
@@ -25,15 +34,23 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/lower"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "cache" {
+		cacheCmd(os.Args[2:])
+		return
+	}
+
 	module := flag.String("module", "", "module to compile (default: last module per file, or every module in batch mode)")
 	all := flag.Bool("all", false, "compile every module of every input file")
 	policy := flag.String("policy", "maximal", "splitter policy: maximal or minimal")
@@ -41,10 +58,14 @@ func main() {
 	outDir := flag.String("o", ".", "output directory")
 	minimize := flag.Bool("minimize", false, "minimize the EFSM before synthesis")
 	jobs := flag.Int("jobs", 0, "max concurrent module builds (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent cache directory (default $ECL_CACHE_DIR, else the user cache dir)")
+	noDiskCache := flag.Bool("no-disk-cache", false, "disable the persistent on-disk artifact cache")
+	cacheStats := flag.Bool("cache-stats", false, "report cache hit rates after the build")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: eclc [flags] file.ecl [file2.ecl ... | dir]")
+		fmt.Fprintln(os.Stderr, "       eclc cache stats|gc|clear [flags]")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -98,7 +119,20 @@ func main() {
 	}
 
 	d := driver.New(*jobs)
+	if !*noDiskCache {
+		store, err := cache.Open(*cacheDir)
+		if err != nil {
+			// An unusable store (no writable cache dir) degrades to a
+			// memory-only build rather than failing the compile.
+			fmt.Fprintf(os.Stderr, "eclc: disk cache disabled: %v\n", err)
+		} else {
+			d.Disk = store
+		}
+	}
 	results, _ := d.Build(context.Background(), reqs)
+	if *cacheStats {
+		printCacheStats(d)
+	}
 
 	failed := false
 	writtenBy := map[string]string{} // output path -> source file
@@ -174,6 +208,95 @@ func collectInputs(args []string) (paths []string, sawDir bool, err error) {
 		paths = append(paths, found...)
 	}
 	return paths, sawDir, nil
+}
+
+// printCacheStats reports both tiers in a stable, grep-able form (the
+// CI dogfood step parses disk-hit-rate from it).
+func printCacheStats(d *driver.Driver) {
+	cs := d.CacheStats()
+	rate := 0.0
+	if probes := cs.DiskHits + cs.DiskMisses; probes > 0 {
+		rate = 100 * float64(cs.DiskHits) / float64(probes)
+	}
+	fmt.Fprintf(os.Stderr,
+		"eclc: cache stats: mem-hits=%d mem-misses=%d disk-hits=%d disk-misses=%d disk-hit-rate=%.1f%%\n",
+		cs.Hits, cs.Misses, cs.DiskHits, cs.DiskMisses, rate)
+}
+
+// cacheCmd implements `eclc cache stats|gc|clear`.
+func cacheCmd(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: eclc cache stats|gc|clear [-cache-dir dir] [-max-bytes n] [-max-age d]")
+		os.Exit(2)
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("eclc cache "+sub, flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default $ECL_CACHE_DIR, else the user cache dir)")
+	maxBytes := fs.String("max-bytes", "1G", "gc: trim the store to this size (accepts K/M/G suffixes, 0 = unbounded)")
+	maxAge := fs.Duration("max-age", 30*24*time.Hour, "gc: evict entries unused for longer (0 = unbounded)")
+	fs.Parse(args)
+
+	store, err := cache.Open(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	switch sub {
+	case "stats":
+		bytes, entries, err := store.Size()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cache dir: %s\nentries:   %d\nsize:      %s\n", store.Dir(), entries, formatBytes(bytes))
+	case "gc":
+		limit, err := parseBytes(*maxBytes)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := store.GC(limit, *maxAge)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gc: evicted %d entries, %d blobs, freed %s; %d entries / %s live\n",
+			res.EvictedEntries, res.EvictedBlobs, formatBytes(res.FreedBytes),
+			res.LiveEntries, formatBytes(res.LiveBytes))
+	case "clear":
+		if err := store.Clear(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cleared %s\n", store.Dir())
+	default:
+		fatal(fmt.Errorf("unknown cache subcommand %q (want stats, gc, or clear)", sub))
+	}
+}
+
+// parseBytes parses a byte count with an optional K/M/G suffix.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return n * mult, nil
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func fatal(err error) {

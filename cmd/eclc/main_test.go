@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildEclc compiles the eclc binary once per test run.
+func buildEclc(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping binary end-to-end test")
+	}
+	exe := filepath.Join(t.TempDir(), "eclc")
+	out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput()
+	if err != nil {
+		t.Skipf("go build unavailable: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestWarmProcessRebuildHitRate is the acceptance criterion against
+// the real binary: two separate eclc processes over one cache dir; the
+// second must report >= 90% disk-cache hits.
+func TestWarmProcessRebuildHitRate(t *testing.T) {
+	exe := buildEclc(t)
+	cacheDir := t.TempDir()
+	outDir := t.TempDir()
+	examples, err := filepath.Abs("../../examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() string {
+		cmd := exec.Command(exe, "-all", "-cache-stats", "-cache-dir", cacheDir, "-o", outDir, examples)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("eclc failed: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+
+	cold := run()
+	if !strings.Contains(cold, "disk-hits=0") {
+		t.Fatalf("cold run not cold:\n%s", cold)
+	}
+	warm := run()
+	m := regexp.MustCompile(`disk-hit-rate=([0-9.]+)%`).FindStringSubmatch(warm)
+	if m == nil {
+		t.Fatalf("no disk-hit-rate in output:\n%s", warm)
+	}
+	rate, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || rate < 90 {
+		t.Fatalf("warm disk-hit-rate = %s%% (want >= 90):\n%s", m[1], warm)
+	}
+	// Artifacts must exist and be identical across cold/warm runs
+	// (the warm run rewrites them from cached bytes).
+	if _, err := os.Stat(filepath.Join(outDir, "abro.strl")); err != nil {
+		t.Fatalf("warm run artifact missing: %v", err)
+	}
+}
+
+// TestCacheSubcommands drives stats -> gc -> clear over a real store.
+func TestCacheSubcommands(t *testing.T) {
+	exe := buildEclc(t)
+	cacheDir := t.TempDir()
+	outDir := t.TempDir()
+	examples, _ := filepath.Abs("../../examples")
+	if out, err := exec.Command(exe, "-all", "-cache-dir", cacheDir, "-o", outDir, examples).CombinedOutput(); err != nil {
+		t.Fatalf("seed build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(exe, "cache", "stats", "-cache-dir", cacheDir).CombinedOutput()
+	if err != nil || !regexp.MustCompile(`entries:\s+[1-9]`).Match(out) {
+		t.Fatalf("cache stats (want a populated store): %v\n%s", err, out)
+	}
+	out, err = exec.Command(exe, "cache", "gc", "-cache-dir", cacheDir, "-max-bytes", "1G").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "gc: evicted") {
+		t.Fatalf("cache gc: %v\n%s", err, out)
+	}
+	out, err = exec.Command(exe, "cache", "clear", "-cache-dir", cacheDir).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "cleared") {
+		t.Fatalf("cache clear: %v\n%s", err, out)
+	}
+	out, err = exec.Command(exe, "cache", "stats", "-cache-dir", cacheDir).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "entries:   0") {
+		t.Fatalf("stats after clear: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(exe, "cache", "bogus").CombinedOutput(); err == nil {
+		t.Fatalf("unknown subcommand succeeded:\n%s", out)
+	}
+}

@@ -15,11 +15,15 @@
 // driven by empty await() delta cycles). -trace records the run as a
 // canonical JSONL trace; -replay drives the machine with a recorded
 // trace's inputs instead of a script and diffs the outputs against the
-// recording — so a trace captured on one backend checks another.
+// recording — so a trace captured on one backend checks another. A
+// replay that does not reproduce the recording exits non-zero and
+// prints the first diverging instant (also when one trace is a strict
+// prefix of the other), so CI can gate on it directly.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -128,7 +132,8 @@ func main() {
 	}
 }
 
-// replay drives the machine with a recorded trace and diffs outputs.
+// replay drives the machine with a recorded trace and diffs outputs,
+// exiting non-zero (with the first diverging instant) on mismatch.
 func replay(m exec.Machine, path string) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -144,8 +149,14 @@ func replay(m exec.Machine, path string) {
 		fatal(err)
 	}
 	if err := exec.Diff(recorded, got); err != nil {
-		fmt.Fprintf(os.Stderr, "eclsim: replay diverged (%s vs %s): %v\n",
-			recorded.Backend, m.Backend(), err)
+		var de *exec.DiffError
+		if errors.As(err, &de) {
+			fmt.Fprintf(os.Stderr, "eclsim: replay diverged at instant %d (%s vs %s):\n  recorded: [%s]\n  got:      [%s]\n",
+				de.Instant, recorded.Backend, m.Backend(), de.A, de.B)
+		} else {
+			fmt.Fprintf(os.Stderr, "eclsim: replay diverged (%s vs %s): %v\n",
+				recorded.Backend, m.Backend(), err)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("replay ok: %d instants, %s trace reproduced on %s\n",

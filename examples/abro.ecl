@@ -1,0 +1,15 @@
+
+module abro (input pure A, input pure B, input pure R,
+             output pure O)
+{
+    while (1) {
+        do {
+            par {
+                await (A);
+                await (B);
+            }
+            emit (O);
+            halt ();
+        } abort (R);
+    }
+}

@@ -1,0 +1,83 @@
+
+#define BUFCAP 64
+#define LOWMARK 16
+#define HIGHMARK 48
+
+typedef unsigned char byte;
+
+module recordctl (input pure rec_btn, input pure stop_btn,
+                  input byte mic_sample, input pure buf_full,
+                  output byte wr_data, output pure rec_led)
+{
+    while (1) {
+        await (rec_btn);
+        emit (rec_led);
+        do {
+            while (1) {
+                await (mic_sample);
+                emit_v (wr_data, mic_sample);
+            }
+        } abort (stop_btn | buf_full);
+    }
+}
+
+module playctl (input pure play_btn, input pure stop_btn,
+                input pure buf_empty, input byte rd_data,
+                output pure rd_req, output byte spk_sample)
+{
+    while (1) {
+        await (play_btn);
+        do {
+            while (1) {
+                emit (rd_req);
+                await (rd_data);
+                emit_v (spk_sample, rd_data);
+                await ();
+            }
+        } abort (stop_btn | buf_empty);
+    }
+}
+
+module levelmon (input byte wr_data, input pure rd_req,
+                 output pure buf_full, output pure buf_empty,
+                 output pure low_water, output pure high_water)
+{
+    int level;
+
+    level = 0;
+    while (1) {
+        /* Publish the fill status computed from the previous instant's
+           level first (register semantics: "every reader sees the value
+           of the previous instant", as the paper puts it), then account
+           for this instant's writes and reads. */
+        if (level >= BUFCAP) emit (buf_full);
+        if (level == 0) emit (buf_empty);
+        if (level <= LOWMARK) emit (low_water);
+        if (level >= HIGHMARK) emit (high_water);
+        present (wr_data) {
+            if (level < BUFCAP) level = level + 1;
+        }
+        present (rd_req) {
+            if (level > 0) level = level - 1;
+        }
+        await ();
+    }
+}
+
+module bufferctl (input pure rec_btn, input pure play_btn,
+                  input pure stop_btn, input byte mic_sample,
+                  input byte rd_data,
+                  output byte spk_sample, output pure rec_led,
+                  output pure rd_req,
+                  output pure low_water, output pure high_water)
+{
+    signal byte wr_data;
+    signal pure buf_full;
+    signal pure buf_empty;
+
+    par {
+        recordctl (rec_btn, stop_btn, mic_sample, buf_full, wr_data, rec_led);
+        playctl (play_btn, stop_btn, buf_empty, rd_data, rd_req, spk_sample);
+        levelmon (wr_data, rd_req, buf_full, buf_empty, low_water, high_water);
+    }
+}

@@ -1,0 +1,18 @@
+
+module runner (input pure go, input pure stop, output pure started,
+               output pure done, output pure aborted)
+{
+    while (1) {
+        await (go);
+        do {
+            emit (started);
+            await (go);
+            await (go);
+            emit (done);
+            halt ();
+        } weak_abort (stop)
+        handle {
+            emit (aborted);
+        }
+    }
+}

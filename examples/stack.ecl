@@ -1,0 +1,106 @@
+
+#define HDRSIZE 6
+#define DATASIZE 56
+#define CRCSIZE 2
+#define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE
+
+typedef unsigned char byte;
+
+typedef struct {
+    byte packet[PKTSIZE];
+} packet_view_1_t;
+
+typedef struct {
+    byte header[HDRSIZE];
+    byte data[DATASIZE];
+    byte crc[CRCSIZE];
+} packet_view_2_t;
+
+typedef union {
+    packet_view_1_t raw;
+    packet_view_2_t cooked;
+} packet_t;
+
+module assemble (input pure reset,
+                 input byte in_byte, output packet_t outpkt)
+{
+    int cnt;
+    packet_t buffer;
+
+    /* outermost reactive loop */
+    while (1) {
+        do {
+            /* get PKTSIZE bytes */
+            for (cnt = 0; cnt < PKTSIZE; cnt++) {
+                await (in_byte);
+                buffer.raw.packet[cnt] = in_byte;
+            }
+            /* assemble them and emit the output */
+            emit_v (outpkt, buffer);
+        } abort (reset);
+    }
+}
+
+module checkcrc (input pure reset,
+                 input packet_t inpkt, output bool crc_ok)
+{
+    int i;
+    unsigned int crc;
+
+    while (1) {
+        do {
+            await (inpkt);
+            for (i = 0, crc = 0; i < PKTSIZE; i++) {
+                crc = (crc ^ inpkt.raw.packet[i]) << 1;
+            }
+            emit_v (crc_ok, crc == (int) inpkt.cooked.crc);
+        } abort (reset);
+    }
+}
+
+module prochdr (input pure reset, input bool crc_ok,
+                input packet_t inpkt, output pure addr_match)
+{
+    signal pure kill_check; /* local signal */
+    bool match_ok;
+    int hi;
+
+    while (1) {
+        do {
+            await (inpkt);
+            par {
+                do {
+                    /* lengthy computation, determining match_ok:
+                       scan the header one byte per instant */
+                    match_ok = 1;
+                    for (hi = 0; hi < HDRSIZE; hi++) {
+                        if (inpkt.cooked.header[hi] != (byte)(hi + 1))
+                            match_ok = 0;
+                        await ();
+                    }
+                } abort (kill_check);
+                {
+                    /* await immediate crc_ok (see note 2 above) */
+                    present (crc_ok) { } else { await (crc_ok); }
+                    if (~crc_ok) emit (kill_check);
+                    /* else just wait for both to complete */
+                }
+            }
+            /* now both branches have terminated */
+            if (crc_ok && match_ok) emit (addr_match);
+        } abort (reset);
+    }
+}
+
+module toplevel (input pure reset,
+                 input byte in_byte, output pure addr_match)
+{
+    signal packet_t packet;
+    signal bool crc_ok;
+
+    par {
+        assemble (reset, in_byte, packet);
+        checkcrc (reset, packet, crc_ok);
+        prochdr (reset, crc_ok, packet, addr_match);
+    }
+}

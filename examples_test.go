@@ -1,0 +1,89 @@
+package ecl
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/driver"
+	"repro/internal/paperex"
+)
+
+// TestExamplesMatchPaperex pins the checked-in examples/*.ecl corpus
+// (what `eclc -all examples` and the CI cache-dogfood step compile) to
+// the paperex constants it was generated from.
+func TestExamplesMatchPaperex(t *testing.T) {
+	want := map[string]string{
+		"abro.ecl":   paperex.ABRO,
+		"stack.ecl":  paperex.Stack,
+		"buffer.ecl": paperex.Buffer,
+		"runner.ecl": paperex.RunnerStop,
+	}
+	for name, src := range want {
+		data, err := os.ReadFile(filepath.Join("examples", name))
+		if err != nil {
+			t.Fatalf("missing example: %v", err)
+		}
+		if string(data) != src {
+			t.Errorf("examples/%s drifted from its paperex constant; regenerate it", name)
+		}
+	}
+}
+
+// TestExamplesWarmRebuildHitRate is the acceptance criterion run
+// in-process: batch-compile every module under examples/ twice with
+// fresh drivers sharing one store; the second pass must be >= 90%
+// disk-cache hits.
+func TestExamplesWarmRebuildHitRate(t *testing.T) {
+	reqs := exampleRequests(t)
+	dir := t.TempDir()
+	for pass := 0; pass < 2; pass++ {
+		store, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &driver.Driver{Disk: store}
+		results, err := d.Build(context.Background(), reqs)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		cs := d.CacheStats()
+		if pass == 0 {
+			if cs.DiskHits != 0 {
+				t.Fatalf("cold pass had %d disk hits", cs.DiskHits)
+			}
+			continue
+		}
+		probes := cs.DiskHits + cs.DiskMisses
+		if probes == 0 || float64(cs.DiskHits)/float64(probes) < 0.9 {
+			t.Fatalf("warm pass: %d/%d disk hits (want >= 90%%); stats %+v", cs.DiskHits, probes, cs)
+		}
+		for _, r := range results {
+			if !r.DiskCached {
+				t.Errorf("warm pass: %s:%s not served from disk", r.Path, r.Module)
+			}
+		}
+	}
+}
+
+// exampleRequests expands every module of every examples/*.ecl file
+// with eclc's default target set.
+func exampleRequests(t *testing.T) []driver.Request {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("examples", "*.ecl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no examples: %v", err)
+	}
+	targets := []driver.Target{driver.TargetEsterel, driver.TargetC, driver.TargetGlue, driver.TargetStats}
+	var reqs []driver.Request
+	for _, p := range paths {
+		expanded, err := driver.ExpandModules(driver.Request{Path: p, Targets: targets})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		reqs = append(reqs, expanded...)
+	}
+	return reqs
+}

@@ -1,0 +1,263 @@
+// Package benchfmt converts `go test -bench -json` output into the
+// compact benchmark artifact CI commits per PR (BENCH_PR<k>.json) and
+// compares two artifacts for Step-throughput regressions.
+//
+// The artifact is a single JSON object listing every benchmark with
+// its iteration count and metric map (ns/op plus any testing.B
+// ReportMetric units). The regression check focuses on the
+// Step-throughput benchmarks (BenchmarkStepPacket/<backend>): each
+// backend's per-instant cost is ns/op divided by its instants/op
+// metric, and the verdict is the geometric mean of the new/old ratios,
+// so one noisy backend cannot hide a broad slowdown (or fabricate
+// one).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Version is the artifact schema version.
+const Version = 1
+
+// StepBenchPrefix selects the benchmarks whose throughput the
+// regression gate tracks.
+const StepBenchPrefix = "BenchmarkStepPacket/"
+
+// Benchmark is one benchmark result.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the committed benchmark artifact.
+type Report struct {
+	Version    int         `json:"version"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches a benchmark result line: name, iteration count,
+// then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// ParseBenchLine parses one textual benchmark result line
+// ("BenchmarkX-8  10  123 ns/op  64.0 instants/op"), reporting ok =
+// false for non-benchmark lines.
+func ParseBenchLine(line string) (Benchmark, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(m[3])
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: m[1], Iters: iters, Metrics: make(map[string]float64, len(fields)/2)}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// ParseTestJSON reads a `go test -json` event stream and collects
+// every benchmark result line into a Report stamped with the host
+// platform. The testing package writes a benchmark's name and its
+// timing as separate output events, so events are reassembled into
+// whole lines per package before parsing.
+func ParseTestJSON(r io.Reader) (*Report, error) {
+	type event struct {
+		Action  string `json:"Action"`
+		Package string `json:"Package"`
+		Output  string `json:"Output"`
+	}
+	rep := &Report{Version: Version, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	partial := map[string]string{} // package -> unterminated output tail
+	take := func(pkg, out string) {
+		buf := partial[pkg] + out
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if b, ok := ParseBenchLine(buf[:nl]); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+			buf = buf[nl+1:]
+		}
+		partial[pkg] = buf
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate interleaved non-JSON noise (build output).
+			continue
+		}
+		if ev.Action == "output" {
+			take(ev.Package, ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results in input (was it `go test -bench -json` output?)")
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// Write serializes the artifact (stable field order, indented for
+// reviewable diffs).
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a committed artifact.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Version != Version {
+		return nil, fmt.Errorf("artifact version %d not supported (want %d)", rep.Version, Version)
+	}
+	return &rep, nil
+}
+
+// stepCost returns a benchmark's per-instant step cost in ns, or ok =
+// false if it is not a Step benchmark.
+func stepCost(b Benchmark) (float64, bool) {
+	if !strings.HasPrefix(b.Name, StepBenchPrefix) {
+		return 0, false
+	}
+	ns, ok := b.Metrics["ns/op"]
+	if !ok || ns <= 0 {
+		return 0, false
+	}
+	if instants, ok := b.Metrics["instants/op"]; ok && instants > 0 {
+		return ns / instants, true
+	}
+	return ns, true
+}
+
+// baseName strips the trailing -<GOMAXPROCS> suffix so artifacts from
+// hosts with different core counts compare.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Ratio is one matched Step benchmark's new/old cost ratio.
+type Ratio struct {
+	Name     string
+	Old, New float64 // ns per instant
+	Ratio    float64
+}
+
+// Comparison is the regression verdict over two artifacts.
+type Comparison struct {
+	Ratios []Ratio
+	// GeoMean is the geometric mean of the ratios (1.0 = unchanged,
+	// 1.3 = 30% slower).
+	GeoMean float64
+	// Threshold is the ratio above which Regressed is set.
+	Threshold float64
+	Regressed bool
+}
+
+// CompareStep compares Step-throughput between two artifacts.
+// maxRegressPercent is the allowed slowdown (30 means fail above
+// 1.30x). Every Step benchmark in the old artifact must appear in the
+// new one — the gate must not silently pass because a benchmark was
+// renamed or deleted (which would drop its regression out of the
+// geomean).
+func CompareStep(old, new *Report, maxRegressPercent float64) (*Comparison, error) {
+	oldCost := map[string]float64{}
+	for _, b := range old.Benchmarks {
+		if c, ok := stepCost(b); ok {
+			oldCost[baseName(b.Name)] = c
+		}
+	}
+	cmp := &Comparison{Threshold: 1 + maxRegressPercent/100}
+	logSum := 0.0
+	matched := map[string]bool{}
+	for _, b := range new.Benchmarks {
+		c, ok := stepCost(b)
+		if !ok {
+			continue
+		}
+		name := baseName(b.Name)
+		oc, ok := oldCost[name]
+		if !ok || oc <= 0 {
+			continue
+		}
+		matched[name] = true
+		r := Ratio{Name: name, Old: oc, New: c, Ratio: c / oc}
+		cmp.Ratios = append(cmp.Ratios, r)
+		logSum += math.Log(r.Ratio)
+	}
+	if len(cmp.Ratios) == 0 {
+		return nil, fmt.Errorf("no Step benchmarks (%s*) in common between the artifacts", StepBenchPrefix)
+	}
+	var missing []string
+	for name := range oldCost {
+		if !matched[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("baseline Step benchmarks missing from the new artifact (renamed or deleted?): %s",
+			strings.Join(missing, ", "))
+	}
+	cmp.GeoMean = math.Exp(logSum / float64(len(cmp.Ratios)))
+	cmp.Regressed = cmp.GeoMean > cmp.Threshold
+	return cmp, nil
+}
+
+// Format renders the comparison for CI logs.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	for _, r := range c.Ratios {
+		fmt.Fprintf(&b, "  %-40s %10.1f -> %10.1f ns/instant  (%.2fx)\n", r.Name, r.Old, r.New, r.Ratio)
+	}
+	verdict := "ok"
+	if c.Regressed {
+		verdict = "REGRESSED"
+	}
+	fmt.Fprintf(&b, "Step-throughput geomean: %.2fx (threshold %.2fx): %s\n", c.GeoMean, c.Threshold, verdict)
+	return b.String()
+}

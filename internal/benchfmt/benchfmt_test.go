@@ -1,0 +1,146 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleStream mirrors real `go test -bench -json` output, including
+// the split the testing package produces between a benchmark's name
+// event and its result event, a bare name announcement line, and
+// interleaving between two packages.
+const sampleStream = `
+{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkStepPacket/interp\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkStepPacket/interp-8 \t"}
+{"Action":"output","Package":"other","Output":"BenchmarkUnrelated-8 \t"}
+{"Action":"output","Package":"repro","Output":"       1\t   9305208 ns/op\t        64.00 instants/op\n"}
+{"Action":"output","Package":"other","Output":"       2\t       100 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkStepPacket/efsm-8 \t       1\t    120000 ns/op\t        64.00 instants/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkBatchSequential-8 \t       1\t  55000000 ns/op\t        10.00 modules\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t1.2s\n"}
+not even json
+{"Action":"pass","Package":"repro"}
+`
+
+func TestParseTestJSON(t *testing.T) {
+	rep, err := ParseTestJSON(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// Sorted by name; check the split-across-events one in detail.
+	b := rep.Benchmarks[2]
+	if b.Name != "BenchmarkStepPacket/interp-8" || b.Iters != 1 {
+		t.Fatalf("benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 9305208 || b.Metrics["instants/op"] != 64 {
+		t.Fatalf("metrics = %+v", b.Metrics)
+	}
+}
+
+func TestParseTestJSONRoundTrip(t *testing.T) {
+	rep, err := ParseTestJSON(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+}
+
+func TestParseTestJSONEmpty(t *testing.T) {
+	if _, err := ParseTestJSON(strings.NewReader(`{"Action":"pass"}`)); err == nil {
+		t.Fatal("want error for a stream with no benchmarks")
+	}
+}
+
+func report(costs map[string]float64) *Report {
+	r := &Report{Version: Version}
+	for name, ns := range costs {
+		r.Benchmarks = append(r.Benchmarks, Benchmark{
+			Name: name, Iters: 1,
+			Metrics: map[string]float64{"ns/op": ns * 64, "instants/op": 64},
+		})
+	}
+	return r
+}
+
+func TestCompareStep(t *testing.T) {
+	old := report(map[string]float64{
+		"BenchmarkStepPacket/interp-8": 1000,
+		"BenchmarkStepPacket/efsm-8":   100,
+		"BenchmarkOther-8":             5,
+	})
+
+	t.Run("unchanged passes", func(t *testing.T) {
+		cmp, err := CompareStep(old, report(map[string]float64{
+			"BenchmarkStepPacket/interp-4": 1000, // different core count still matches
+			"BenchmarkStepPacket/efsm-4":   100,
+		}), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.Regressed || len(cmp.Ratios) != 2 || cmp.GeoMean < 0.99 || cmp.GeoMean > 1.01 {
+			t.Fatalf("cmp = %+v", cmp)
+		}
+	})
+
+	t.Run("broad slowdown fails", func(t *testing.T) {
+		cmp, err := CompareStep(old, report(map[string]float64{
+			"BenchmarkStepPacket/interp-8": 1500,
+			"BenchmarkStepPacket/efsm-8":   150,
+		}), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cmp.Regressed {
+			t.Fatalf("1.5x slowdown not flagged: %+v", cmp)
+		}
+		if !strings.Contains(cmp.Format(), "REGRESSED") {
+			t.Fatalf("format lacks verdict: %s", cmp.Format())
+		}
+	})
+
+	t.Run("one noisy backend does not fail the geomean", func(t *testing.T) {
+		cmp, err := CompareStep(old, report(map[string]float64{
+			"BenchmarkStepPacket/interp-8": 1400, // 1.4x on one
+			"BenchmarkStepPacket/efsm-8":   100,  // flat on the other
+		}), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.Regressed {
+			t.Fatalf("geomean %.2f wrongly regressed: %+v", cmp.GeoMean, cmp)
+		}
+	})
+
+	t.Run("renamed baseline benchmark errors", func(t *testing.T) {
+		// efsm regressed out of existence (renamed/deleted) while
+		// interp slows 1.25x: the gate must refuse, not pass at 1.25.
+		_, err := CompareStep(old, report(map[string]float64{
+			"BenchmarkStepPacket/interp-8":  1250,
+			"BenchmarkStepPacket/renamed-8": 100,
+		}), 30)
+		if err == nil || !strings.Contains(err.Error(), "BenchmarkStepPacket/efsm") {
+			t.Fatalf("missing baseline benchmark not reported: %v", err)
+		}
+	})
+
+	t.Run("no common step benchmarks errors", func(t *testing.T) {
+		if _, err := CompareStep(old, report(map[string]float64{"BenchmarkRenamed-8": 1}), 30); err == nil {
+			t.Fatal("want error when the gate has nothing to compare")
+		}
+	})
+}

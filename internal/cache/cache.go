@@ -1,0 +1,347 @@
+// Package cache is a persistent, content-addressed artifact store: the
+// on-disk second tier behind internal/driver's in-memory design cache,
+// so separate eclc processes (and separate CI runs) pay for a design
+// once per content hash.
+//
+// On-disk layout, under the store root (default
+// os.UserCacheDir()/ecl, overridable with $ECL_CACHE_DIR):
+//
+//	<root>/v1/manifests/<aa>/<design-key>.json
+//	<root>/v1/blobs/<aa>/<sha256-of-content>
+//	<root>/v1/tmp/...
+//	<root>/v1/gc.lock
+//
+// The schema version is part of the path, so a format change simply
+// starts a fresh subtree instead of misreading old state. Blobs are
+// content-addressed (the file name is the SHA-256 of the bytes) and
+// sharded by their first two hex digits; a manifest per design key
+// maps artifact names to blob hashes. Every write goes through a temp
+// file in tmp/ followed by an atomic rename on the same filesystem, so
+// readers never observe a partial file and concurrent writers of the
+// same content converge on identical bytes. Corrupt or truncated
+// manifests and blobs are detected (JSON/shape validation for
+// manifests, hash verification for blobs), treated as misses, and
+// deleted so the next Put repairs them — never an error to the build.
+//
+// Mutual exclusion across processes uses best-effort lock files
+// (manifest read-modify-write merges, and the GC sweep); in-process
+// deduplication is the driver's single-flight, and the atomic-rename
+// discipline keeps even unlocked races safe, just possibly wasteful.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// SchemaVersion is the on-disk format version; it names the versioned
+// subtree (v1/...) and is checked inside every manifest.
+const SchemaVersion = 1
+
+// EnvDir is the environment variable overriding the default store
+// location.
+const EnvDir = "ECL_CACHE_DIR"
+
+// DefaultDir returns the store root used when no directory is
+// configured: $ECL_CACHE_DIR, else os.UserCacheDir()/ecl.
+func DefaultDir() (string, error) {
+	if dir := os.Getenv(EnvDir); dir != "" {
+		return dir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("cache: no user cache dir (set %s): %w", EnvDir, err)
+	}
+	return filepath.Join(base, "ecl"), nil
+}
+
+// Entry is one design key's cached state: the resolved module name and
+// the artifact texts by artifact key (the driver's target keys).
+type Entry struct {
+	Module    string
+	Artifacts map[string]string
+}
+
+// Stats counts store traffic since Open. Evictions accumulate across
+// GC calls; Errors counts corruption and I/O problems on either path —
+// swallowed as misses on reads, returned to the caller on writes.
+type Stats struct {
+	Hits, Misses, Puts, Evictions, Errors int64
+}
+
+// Store is a persistent artifact cache rooted at one directory. It is
+// safe for concurrent use by multiple goroutines and multiple
+// processes.
+type Store struct {
+	root string // versioned subtree: <dir>/v1
+
+	hits, misses, puts, evictions, errors atomic.Int64
+}
+
+// Open returns a store rooted at dir ("" means DefaultDir), creating
+// the directory tree as needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		var err error
+		dir, err = DefaultDir()
+		if err != nil {
+			return nil, err
+		}
+	}
+	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	for _, sub := range []string{"manifests", "blobs", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Store{root: root}, nil
+}
+
+// Dir returns the store's root directory (without the version
+// component).
+func (s *Store) Dir() string { return filepath.Dir(s.root) }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// manifest is the on-disk record for one design key.
+type manifest struct {
+	Version   int               `json:"version"`
+	Key       string            `json:"key"`
+	Module    string            `json:"module"`
+	Artifacts map[string]string `json:"artifacts"` // artifact key -> blob hash
+}
+
+// valid reports whether a decoded manifest has the shape Get relies
+// on.
+func (m *manifest) valid(key string) bool {
+	return m.Version == SchemaVersion && m.Key == key && m.Module != "" && len(m.Artifacts) > 0
+}
+
+// Get looks up a design key and resolves the wanted artifact keys. It
+// returns ok=false — a miss — when the manifest is absent, corrupt, or
+// lacks any wanted artifact, or when a referenced blob is missing or
+// fails hash verification. Corrupt files are deleted so the next Put
+// repairs them. A hit refreshes the manifest's LRU clock.
+func (s *Store) Get(key string, want []string) (*Entry, bool) {
+	m, ok := s.readManifest(key)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	e := &Entry{Module: m.Module, Artifacts: make(map[string]string, len(want))}
+	for _, k := range want {
+		hash, ok := m.Artifacts[k]
+		if !ok {
+			s.misses.Add(1)
+			return nil, false
+		}
+		text, ok := s.readBlob(hash)
+		if !ok {
+			// A missing or corrupt blob invalidates the manifest that
+			// references it: drop both so the key rebuilds cleanly.
+			os.Remove(s.manifestPath(key))
+			s.misses.Add(1)
+			return nil, false
+		}
+		e.Artifacts[k] = text
+	}
+	s.hits.Add(1)
+	now := time.Now()
+	os.Chtimes(s.manifestPath(key), now, now) // LRU touch; best-effort
+	return e, true
+}
+
+// Put stores the entry's artifacts as blobs and writes (or merges
+// into) the key's manifest. Artifacts accumulate across Puts of the
+// same key, so different target sets share one manifest.
+func (s *Store) Put(key string, e *Entry) error {
+	if e.Module == "" || len(e.Artifacts) == 0 {
+		return fmt.Errorf("cache: refusing to store empty entry for %s", key)
+	}
+	hashes := make(map[string]string, len(e.Artifacts))
+	for k, text := range e.Artifacts {
+		h, err := s.writeBlob(text)
+		if err != nil {
+			s.errors.Add(1)
+			return err
+		}
+		hashes[k] = h
+	}
+
+	// Merge with any existing manifest under a per-key lock so two
+	// processes caching different targets of one design don't drop each
+	// other's artifacts. A lost lock (timeout) degrades to last-wins.
+	unlock := s.lock(key+".lock", 2*time.Second)
+	defer unlock()
+	m, ok := s.readManifest(key)
+	if !ok {
+		m = &manifest{Version: SchemaVersion, Key: key, Module: e.Module, Artifacts: hashes}
+	} else {
+		for k, h := range hashes {
+			m.Artifacts[k] = h
+		}
+		m.Module = e.Module
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(s.manifestPath(key), data); err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Clear removes every manifest and blob (the whole versioned subtree),
+// leaving an empty, usable store.
+func (s *Store) Clear() error {
+	for _, sub := range []string{"manifests", "blobs", "tmp"} {
+		p := filepath.Join(s.root, sub)
+		if err := os.RemoveAll(p); err != nil {
+			return err
+		}
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size walks the store and returns its total bytes (manifests plus
+// blobs) and entry (manifest) count.
+func (s *Store) Size() (bytes int64, entries int, err error) {
+	err = filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil // a file vanishing mid-walk is fine
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		bytes += info.Size()
+		if filepath.Ext(path) == ".json" {
+			entries++
+		}
+		return nil
+	})
+	return bytes, entries, err
+}
+
+// ---------------------------------------------------------------------------
+// Paths and file primitives
+
+func shard(hash string) string {
+	if len(hash) < 2 {
+		return "xx"
+	}
+	return hash[:2]
+}
+
+func (s *Store) manifestPath(key string) string {
+	return filepath.Join(s.root, "manifests", shard(key), key+".json")
+}
+
+func (s *Store) blobPath(hash string) string {
+	return filepath.Join(s.root, "blobs", shard(hash), hash)
+}
+
+// readManifest loads and validates a key's manifest, deleting it on
+// corruption. Swallowed failures other than plain absence count
+// toward the Errors stat.
+func (s *Store) readManifest(key string) (*manifest, bool) {
+	path := s.manifestPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.errors.Add(1)
+		}
+		return nil, false
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil || !m.valid(key) {
+		s.errors.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	return &m, true
+}
+
+// readBlob loads a blob and verifies its content hash, deleting it on
+// mismatch (truncation, garbage, partial write from a crashed
+// non-atomic filesystem).
+func (s *Store) readBlob(hash string) (string, bool) {
+	path := s.blobPath(hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.errors.Add(1) // a referenced blob should exist and be readable
+		return "", false
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != hash {
+		s.errors.Add(1)
+		os.Remove(path)
+		return "", false
+	}
+	return string(data), true
+}
+
+// writeBlob stores content under its hash (idempotent: an existing
+// blob of the same hash is left alone) and returns the hash.
+func (s *Store) writeBlob(text string) (string, error) {
+	sum := sha256.Sum256([]byte(text))
+	hash := hex.EncodeToString(sum[:])
+	path := s.blobPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	if err := s.writeFileAtomic(path, []byte(text)); err != nil {
+		return "", err
+	}
+	return hash, nil
+}
+
+// writeFileAtomic writes via a temp file in the store's tmp/ dir and
+// renames into place, so concurrent readers and crashed writers never
+// expose partial content.
+func (s *Store) writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "w*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/efsm"
@@ -103,6 +105,12 @@ type Request struct {
 // target to its rendered text; Design exposes the compiled module for
 // callers that want to simulate or inspect it; Diags carries
 // structured failure information when Err is non-nil.
+//
+// A result served entirely from the persistent artifact cache
+// (DiskCached) carries the artifacts and stats but a nil Design: the
+// disk tier stores rendered outputs, not compiled intermediate state.
+// Requests with no targets always compile, so they always get a
+// Design.
 type Result struct {
 	Path   string
 	Module string // resolved module name (never empty on success)
@@ -111,9 +119,10 @@ type Result struct {
 	Stats     *core.Stats
 	Design    *core.Design
 
-	Diags  []Diagnostic
-	Err    error
-	Cached bool // design came from the content-hash cache
+	Diags      []Diagnostic
+	Err        error
+	Cached     bool // served without recompiling (either cache tier)
+	DiskCached bool // served from the persistent on-disk tier
 }
 
 // Failed reports whether the request produced an error.
@@ -122,12 +131,23 @@ func (r *Result) Failed() bool { return r.Err != nil }
 // Driver runs batches of compilation requests. The zero value is ready
 // to use: it sizes its worker pool to GOMAXPROCS and caches compiled
 // designs by content hash. A Driver is safe for concurrent use.
+//
+// The cache has two tiers: an in-memory map (designs plus rendered
+// artifacts, single-flight per content hash) and, when Disk is set, a
+// persistent content-addressed artifact store shared across processes.
+// A request is served memory → disk → compile; compiles repopulate
+// both tiers.
 type Driver struct {
 	// Workers bounds the number of concurrently building requests
 	// (default: GOMAXPROCS).
 	Workers int
-	// NoCache disables the design cache (every request recompiles).
+	// NoCache disables both cache tiers (every request recompiles).
 	NoCache bool
+	// Disk is the persistent second cache tier (nil: memory only).
+	// Only requests with targets use it — the disk tier stores
+	// rendered artifacts, so a request that needs the compiled Design
+	// itself (no targets) always goes through the compiler.
+	Disk *cache.Store
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -139,9 +159,25 @@ type Driver struct {
 // GOMAXPROCS).
 func New(workers int) *Driver { return &Driver{Workers: workers} }
 
-// CacheStats reports design-cache hits and misses so far.
-func (d *Driver) CacheStats() (hits, misses int64) {
-	return d.hits.Load(), d.misses.Load()
+// CacheStats snapshots both cache tiers' traffic.
+type CacheStats struct {
+	// Hits and Misses count the in-memory tier: a hit is any request
+	// served without compiling and without touching disk; a miss is a
+	// compile.
+	Hits, Misses int64
+	// DiskHits, DiskMisses, and DiskEvictions count the persistent
+	// tier (all zero when the driver has no Disk store).
+	DiskHits, DiskMisses, DiskEvictions int64
+}
+
+// CacheStats reports cache traffic so far across both tiers.
+func (d *Driver) CacheStats() CacheStats {
+	cs := CacheStats{Hits: d.hits.Load(), Misses: d.misses.Load()}
+	if d.Disk != nil {
+		st := d.Disk.Stats()
+		cs.DiskHits, cs.DiskMisses, cs.DiskEvictions = st.Hits, st.Misses, st.Evictions
+	}
+	return cs
 }
 
 // Build compiles every request concurrently over the worker pool and
@@ -205,7 +241,8 @@ func describe(r *Result) string {
 }
 
 // buildOne runs the full pipeline for one request, consulting the
-// design cache first.
+// cache tiers first: memory (design or previously loaded artifacts),
+// then the persistent artifact store, then a real compile.
 func (d *Driver) buildOne(req Request) Result {
 	res := Result{Path: req.Path, Module: req.Module}
 
@@ -223,18 +260,48 @@ func (d *Driver) buildOne(req Request) Result {
 		src = string(data)
 	}
 
+	var key string
 	var entry *cacheEntry
 	if d.NoCache {
 		entry = &cacheEntry{}
 	} else {
-		entry = d.entry(cacheKey(req.Path, src, req.Module, req.Options))
+		key = cacheKey(req.Path, src, req.Module, req.Options)
+		entry = d.entry(key)
 	}
+	want := wantKeys(req.Targets, req.GoPackage)
+
+	// Memory tier, artifact replay: a previous request (possibly a
+	// disk hit) already holds every artifact this one needs, so serve
+	// it without compiling even though no Design is cached.
+	if len(want) > 0 && !entry.hasDesign.Load() {
+		if module, arts, ok := entry.replay(want); ok {
+			d.hits.Add(1)
+			res.Cached = true
+			fillFromArtifacts(&res, req, module, arts)
+			return res
+		}
+		// Disk tier. Only consulted when the memory tier cannot serve
+		// the request, so every Get here is a real cross-process probe.
+		if d.Disk != nil && !d.NoCache {
+			if ce, ok := d.Disk.Get(key, want); ok {
+				if tryFillFromArtifacts(&res, req, ce.Module, ce.Artifacts) {
+					res.Cached, res.DiskCached = true, true
+					entry.absorb(ce.Module, ce.Artifacts)
+					return res
+				}
+				// Undecodable stats blob etc.: fall through to compile.
+				res = Result{Path: req.Path, Module: req.Module}
+			}
+		}
+	}
+
 	built := false
 	entry.once.Do(func() {
 		built = true
 		d.misses.Add(1)
 		entry.module, entry.design, entry.diags, entry.err =
 			compileModule(req.Path, src, req.Module, req.Options)
+		entry.hasDesign.Store(true)
 	})
 	if !built {
 		d.hits.Add(1)
@@ -269,8 +336,85 @@ func (d *Driver) buildOne(req Request) Result {
 			st := entry.design.Stats()
 			res.Stats = &st
 		}
+		if d.Disk != nil && !d.NoCache {
+			d.storeDisk(key, entry, req, &res)
+		}
 	}
 	return res
+}
+
+// wantKeys lists the artifact-cache keys a request needs: one per
+// target, plus the machine-readable stats blob when the stats target
+// is requested (so a disk hit can fill Result.Stats).
+func wantKeys(targets []Target, goPkg string) []string {
+	if len(targets) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(targets)+1)
+	for _, t := range targets {
+		keys = append(keys, artifactKey(t, goPkg))
+		if t == TargetStats {
+			keys = append(keys, statsJSONKey)
+		}
+	}
+	return keys
+}
+
+// fillFromArtifacts populates a successful artifact-only result.
+func fillFromArtifacts(res *Result, req Request, module string, arts map[string]string) {
+	if !tryFillFromArtifacts(res, req, module, arts) {
+		// The artifacts were validated when they entered the memory
+		// tier, so decoding cannot fail here; guard anyway.
+		panic("driver: cached artifacts failed to decode")
+	}
+}
+
+// tryFillFromArtifacts populates a result from raw cached artifacts,
+// reporting false (leaving res partially filled) if the stats blob
+// does not decode.
+func tryFillFromArtifacts(res *Result, req Request, module string, arts map[string]string) bool {
+	res.Module = module
+	res.Artifacts = make(map[Target]string, len(req.Targets))
+	for _, t := range req.Targets {
+		res.Artifacts[t] = arts[artifactKey(t, req.GoPackage)]
+		if t == TargetStats {
+			var st core.Stats
+			if err := json.Unmarshal([]byte(arts[statsJSONKey]), &st); err != nil {
+				return false
+			}
+			res.Stats = &st
+		}
+	}
+	return true
+}
+
+// storeDisk writes this request's freshly rendered artifacts to the
+// persistent tier (merging with whatever the key already has). Keys
+// already persisted by this process are skipped, so warm rebuild loops
+// do not rewrite the store every iteration.
+func (d *Driver) storeDisk(key string, entry *cacheEntry, req Request, res *Result) {
+	want := wantKeys(req.Targets, req.GoPackage)
+	if entry.allStored(want) {
+		return
+	}
+	arts := make(map[string]string, len(want))
+	for _, t := range req.Targets {
+		arts[artifactKey(t, req.GoPackage)] = res.Artifacts[t]
+	}
+	if res.Stats != nil {
+		data, err := json.Marshal(res.Stats)
+		if err != nil {
+			return
+		}
+		arts[statsJSONKey] = string(data)
+	}
+	// Best-effort: a full disk or unwritable store must not fail the
+	// build (the store's own error counter records it). Keys are
+	// marked stored only on success, so a transient write failure is
+	// retried on the next rebuild of the design.
+	if d.Disk.Put(key, &cache.Entry{Module: res.Module, Artifacts: arts}) == nil {
+		entry.markStored(want)
+	}
 }
 
 // compileModule runs the front end and the EFSM compiler for one
@@ -369,19 +513,37 @@ func ExpandModules(req Request) ([]Request, error) {
 // ---------------------------------------------------------------------------
 // Design cache
 
+// statsJSONKey is the artifact-cache key of the machine-readable
+// core.Stats blob stored alongside the human-readable stats target.
+const statsJSONKey = "stats#json"
+
+// artifactKey names one rendered artifact in both cache tiers. The Go
+// target's key carries the requested package name ("" means the
+// module-name default, which the content hash already determines).
+func artifactKey(t Target, goPkg string) string {
+	if t == TargetGo {
+		return string(t) + "\x00" + goPkg
+	}
+	return string(t)
+}
+
 // cacheEntry is a single-flight slot for one (source, module, options)
 // key: the first request builds the design, later requests reuse it,
-// and rendered artifacts are memoized per target.
+// rendered artifacts are memoized per target, and artifacts loaded
+// from the disk tier are replayed without compiling.
 type cacheEntry struct {
-	once sync.Once
+	once      sync.Once
+	hasDesign atomic.Bool // design (or compile error) is resolved
 
 	module string
 	design *core.Design
 	diags  []Diagnostic
 	err    error
 
-	mu        sync.Mutex
-	artifacts map[string]artifactResult
+	mu         sync.Mutex
+	diskModule string // resolved module name from a disk hit
+	artifacts  map[string]artifactResult
+	stored     map[string]bool // artifact keys already written to disk
 }
 
 type artifactResult struct {
@@ -389,15 +551,10 @@ type artifactResult struct {
 	err  error
 }
 
-// artifact renders (or recalls) one target's text.
+// artifact renders (or recalls) one target's text from the compiled
+// design.
 func (e *cacheEntry) artifact(t Target, goPkg string) (string, error) {
-	key := string(t)
-	if t == TargetGo {
-		if goPkg == "" {
-			goPkg = e.module
-		}
-		key += "\x00" + goPkg
-	}
+	key := artifactKey(t, goPkg)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.artifacts == nil {
@@ -406,9 +563,75 @@ func (e *cacheEntry) artifact(t Target, goPkg string) (string, error) {
 	if r, ok := e.artifacts[key]; ok {
 		return r.text, r.err
 	}
+	if goPkg == "" {
+		goPkg = e.module
+	}
 	text, err := emit(e.design, t, goPkg)
 	e.artifacts[key] = artifactResult{text, err}
 	return text, err
+}
+
+// replay serves a request purely from artifacts already in memory
+// (loaded from the disk tier by an earlier request), if every wanted
+// key is present.
+func (e *cacheEntry) replay(want []string) (module string, arts map[string]string, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.diskModule == "" {
+		return "", nil, false
+	}
+	arts = make(map[string]string, len(want))
+	for _, k := range want {
+		r, ok := e.artifacts[k]
+		if !ok || r.err != nil {
+			return "", nil, false
+		}
+		arts[k] = r.text
+	}
+	return e.diskModule, arts, true
+}
+
+// absorb records a disk hit's artifacts in the memory tier and marks
+// them as already persisted.
+func (e *cacheEntry) absorb(module string, arts map[string]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.diskModule = module
+	if e.artifacts == nil {
+		e.artifacts = make(map[string]artifactResult)
+	}
+	if e.stored == nil {
+		e.stored = make(map[string]bool)
+	}
+	for k, text := range arts {
+		e.artifacts[k] = artifactResult{text: text}
+		e.stored[k] = true
+	}
+}
+
+// allStored reports whether every key has already been persisted (in
+// which case the disk write can be skipped).
+func (e *cacheEntry) allStored(keys []string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, k := range keys {
+		if !e.stored[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// markStored records keys as persisted, after a successful disk write.
+func (e *cacheEntry) markStored(keys []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stored == nil {
+		e.stored = make(map[string]bool)
+	}
+	for _, k := range keys {
+		e.stored[k] = true
+	}
 }
 
 func (d *Driver) entry(key string) *cacheEntry {
@@ -425,6 +648,9 @@ func (d *Driver) entry(key string) *cacheEntry {
 	return e
 }
 
+// cacheKeyGeneration versions the cacheKey fingerprint itself.
+const cacheKeyGeneration = 1
+
 // cacheKey fingerprints everything that determines a compiled design
 // and its diagnostics: the source text, the selected module, the
 // pipeline options — and the path, because diagnostics and AST
@@ -432,6 +658,10 @@ func (d *Driver) entry(key string) *cacheEntry {
 // must not share an entry.
 func cacheKey(path, src, module string, opts core.Options) string {
 	h := sha256.New()
+	// Salt with the artifact-schema generation: bump it when emitted
+	// artifact formats change incompatibly, so stale persistent
+	// entries from older builds read as misses.
+	fmt.Fprintf(h, "gen:%d\x00", cacheKeyGeneration)
 	fmt.Fprintf(h, "path:%s", path)
 	fmt.Fprintf(h, "\x00src:%d:", len(src))
 	h.Write([]byte(src))

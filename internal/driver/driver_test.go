@@ -132,9 +132,9 @@ func TestCacheHitsOnRebuild(t *testing.T) {
 	if first.Artifacts[TargetC] != second.Artifacts[TargetC] {
 		t.Error("cached artifact differs")
 	}
-	hits, misses := d.CacheStats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	cs := d.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/1", cs.Hits, cs.Misses)
 	}
 
 	// A different module of the same source is a distinct design.

@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func traceWith(backend string, obs ...map[string]string) *Trace {
+	t := NewTrace("m", backend)
+	for i, out := range obs {
+		t.Events = append(t.Events, Event{Instant: i, Outputs: out})
+	}
+	return t
+}
+
+// TestDiffReportsFirstDivergencePosition pins the replay contract: the
+// error always names the earliest diverging instant.
+func TestDiffReportsFirstDivergencePosition(t *testing.T) {
+	base := traceWith("a",
+		map[string]string{"O": ""},
+		map[string]string{"P": ""},
+		map[string]string{"Q": ""})
+
+	t.Run("agree", func(t *testing.T) {
+		if err := Diff(base, traceWith("b",
+			map[string]string{"O": ""},
+			map[string]string{"P": ""},
+			map[string]string{"Q": ""})); err != nil {
+			t.Fatalf("identical traces diff: %v", err)
+		}
+	})
+
+	t.Run("mid-trace divergence", func(t *testing.T) {
+		err := Diff(base, traceWith("b",
+			map[string]string{"O": ""},
+			map[string]string{"X": ""},
+			map[string]string{"Q": ""}))
+		var de *DiffError
+		if !errors.As(err, &de) || de.Instant != 1 {
+			t.Fatalf("err = %v, want divergence at instant 1", err)
+		}
+		if !strings.Contains(err.Error(), "first divergence at instant 1") {
+			t.Fatalf("message lacks position: %q", err)
+		}
+	})
+
+	t.Run("prefix divergence beats length mismatch", func(t *testing.T) {
+		// The shorter trace also differs at instant 0: the report must
+		// point there, not at the length difference.
+		err := Diff(base, traceWith("b", map[string]string{"X": ""}))
+		var de *DiffError
+		if !errors.As(err, &de) || de.Instant != 0 {
+			t.Fatalf("err = %v, want divergence at instant 0", err)
+		}
+	})
+
+	t.Run("strict prefix", func(t *testing.T) {
+		err := Diff(base, traceWith("b",
+			map[string]string{"O": ""},
+			map[string]string{"P": ""}))
+		var de *DiffError
+		if !errors.As(err, &de) || de.Instant != 2 {
+			t.Fatalf("err = %v, want divergence at instant 2 (first missing)", err)
+		}
+		if !strings.Contains(err.Error(), "trace ends after 2 instants") {
+			t.Fatalf("message lacks prefix explanation: %q", err)
+		}
+	})
+}

@@ -287,10 +287,11 @@ func (h *hookedMachine) Restore(s Snapshot) error {
 }
 
 // DiffError reports the first observable divergence between two
-// traces.
+// traces. Instant is always the position of the first difference:
+// when one trace is a strict prefix of the other, it is the first
+// instant present on only one side.
 type DiffError struct {
-	// Instant is the diverging instant index (-1 for a length
-	// mismatch).
+	// Instant is the index of the first diverging instant.
 	Instant int
 	// A and B describe each side's observation at that instant.
 	A, B string
@@ -298,25 +299,18 @@ type DiffError struct {
 
 // Error renders the divergence.
 func (e *DiffError) Error() string {
-	if e.Instant < 0 {
-		return fmt.Sprintf("trace lengths differ: %s vs %s", e.A, e.B)
-	}
-	return fmt.Sprintf("instant %d differs:\n  A: [%s]\n  B: [%s]", e.Instant, e.A, e.B)
+	return fmt.Sprintf("first divergence at instant %d:\n  A: [%s]\n  B: [%s]", e.Instant, e.A, e.B)
 }
 
 // Diff compares the observable behavior of two traces — emitted
 // outputs and termination, instant by instant — and returns a
-// *DiffError on the first divergence (inputs are provenance, not
-// compared). A nil return means the traces agree.
+// *DiffError at the first divergence (inputs are provenance, not
+// compared). Traces of different lengths are compared over their
+// common prefix first, so the reported instant is the earliest real
+// difference, not just "lengths differ". A nil return means the
+// traces agree.
 func Diff(a, b *Trace) error {
-	n := len(a.Events)
-	if len(b.Events) != n {
-		return &DiffError{
-			Instant: -1,
-			A:       fmt.Sprintf("%d instants (%s)", len(a.Events), a.Backend),
-			B:       fmt.Sprintf("%d instants (%s)", len(b.Events), b.Backend),
-		}
-	}
+	n := min(len(a.Events), len(b.Events))
 	for i := 0; i < n; i++ {
 		ea, eb := a.Events[i], b.Events[i]
 		sa := ObservationString(ea.Outputs, ea.Terminated)
@@ -325,7 +319,25 @@ func Diff(a, b *Trace) error {
 			return &DiffError{Instant: i, A: sa, B: sb}
 		}
 	}
+	if len(a.Events) != len(b.Events) {
+		return &DiffError{
+			Instant: n,
+			A:       sideAt(a, n),
+			B:       sideAt(b, n),
+		}
+	}
 	return nil
+}
+
+// sideAt describes one trace's view of instant i, for length-mismatch
+// diffs: either its observation or the fact that it already ended.
+func sideAt(t *Trace, i int) string {
+	if i >= len(t.Events) {
+		return fmt.Sprintf("<trace ends after %d instants> (%s)", len(t.Events), t.Backend)
+	}
+	ev := t.Events[i]
+	return fmt.Sprintf("%s (%d instants total, %s)",
+		ObservationString(ev.Outputs, ev.Terminated), len(t.Events), t.Backend)
 }
 
 // ObservationString renders one instant's observable behavior
