@@ -14,6 +14,8 @@ package ecl
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/lower"
 	"repro/internal/paperex"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -426,6 +429,100 @@ func BenchmarkColdVsWarmDiskCache(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Per-backend execution benchmarks through the unified exec API
+
+// ---------------------------------------------------------------------------
+// Incremental (phase-graph) rebuild benchmarks
+
+// incrementalBenchSrc generates the incremental fixture: five parallel
+// reactive branches (a state product that makes EFSM synthesis the
+// dominant compile cost) plus one data loop whose body — the only
+// place factor appears — is extracted as a data function. Varying
+// factor is therefore a pure data-function edit.
+func incrementalBenchSrc(factor int) string {
+	const branches = 5
+	var sb strings.Builder
+	sb.WriteString("module heavy (")
+	for i := 0; i < branches; i++ {
+		fmt.Fprintf(&sb, "input pure s%d, ", i)
+	}
+	sb.WriteString("input int req, output int done, output pure pulse)\n{\n    int acc;\n    int n;\n    acc = 0;\n    par {\n")
+	for i := 0; i < branches; i++ {
+		fmt.Fprintf(&sb, "        while (1) { await (s%d); emit (pulse); await (s%d); }\n", i, (i+1)%branches)
+	}
+	fmt.Fprintf(&sb, `        while (1) {
+            await (req);
+            n = 0;
+            while (n < 6) {
+                acc = acc + %d;
+                n = n + 1;
+            }
+            emit_v (done, acc);
+        }
+`, factor)
+	sb.WriteString("    }\n}\n")
+	return sb.String()
+}
+
+var incrementalBenchTargets = []driver.Target{driver.TargetC, driver.TargetEsterel, driver.TargetStats}
+
+// BenchmarkIncrementalColdCompile is the baseline: a full uncached
+// compile of the incremental fixture (every phase rebuilt).
+func BenchmarkIncrementalColdCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := &driver.Driver{NoCache: true}
+		res := d.BuildOne(driver.Request{
+			Path: "heavy.ecl", Source: incrementalBenchSrc(i + 2),
+			Targets: incrementalBenchTargets,
+		})
+		if res.Failed() {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkIncrementalDataEdit measures the phase graph's acceptance
+// criterion: each iteration is a *new process* (fresh driver and store
+// handle) compiling a source whose data-function body changed since
+// the store was warmed. The front end and emission re-run, but the
+// efsm phase replays its snapshot from the v2 store — this must be
+// >= 5x faster than BenchmarkIncrementalColdCompile (measured ~8x).
+func BenchmarkIncrementalDataEdit(b *testing.B) {
+	dir := b.TempDir()
+	store, err := cache.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := &driver.Driver{Disk: store}
+	if res := seed.BuildOne(driver.Request{
+		Path: "heavy.ecl", Source: incrementalBenchSrc(1),
+		Targets: incrementalBenchTargets,
+	}); res.Failed() {
+		b.Fatal(res.Err)
+	}
+	b.ResetTimer()
+	var last *driver.Driver
+	for i := 0; i < b.N; i++ {
+		store, err := cache.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = &driver.Driver{Disk: store}
+		res := last.BuildOne(driver.Request{
+			Path: "heavy.ecl", Source: incrementalBenchSrc(i + 2), // unique data edit per iteration
+			Targets: incrementalBenchTargets,
+		})
+		if res.Failed() {
+			b.Fatal(res.Err)
+		}
+	}
+	b.StopTimer()
+	cs := last.CacheStats()
+	efsm := cs.Phases[pipeline.PhaseEFSM]
+	if efsm.DiskHits != 1 || efsm.Rebuilds != 0 {
+		b.Fatalf("efsm phase not replayed from disk: %+v", efsm)
+	}
+	b.ReportMetric(float64(efsm.DiskHits), "efsm-replays/op")
+}
 
 // BenchmarkStepPacket measures per-backend Step throughput: one stack
 // packet pushed byte-per-instant through every registered backend.

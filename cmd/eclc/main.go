@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/lower"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory (default $ECL_CACHE_DIR, else the user cache dir)")
 	noDiskCache := flag.Bool("no-disk-cache", false, "disable the persistent on-disk artifact cache")
 	cacheStats := flag.Bool("cache-stats", false, "report cache hit rates after the build")
+	explain := flag.Bool("explain", false, "print per-phase cache decisions (hit/miss/rebuilt) after the build")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -130,6 +132,9 @@ func main() {
 		}
 	}
 	results, _ := d.Build(context.Background(), reqs)
+	if *explain {
+		printExplain(d, results)
+	}
 	if *cacheStats {
 		printCacheStats(d)
 	}
@@ -210,6 +215,38 @@ func collectInputs(args []string) (paths []string, sawDir bool, err error) {
 	return paths, sawDir, nil
 }
 
+// printExplain reports, per request, how each pipeline phase was
+// satisfied, followed by the per-phase totals — one stable, grep-able
+// key=value line per row (the CI incremental dogfood step greps
+// `phase=efsm status=disk-hit` from it). A request served whole from
+// the design-level cache shows the single pseudo-phase "design".
+func printExplain(d *driver.Driver, results []driver.Result) {
+	for i := range results {
+		res := &results[i]
+		for _, ph := range res.Phases {
+			key := ph.Key
+			if len(key) > 12 {
+				key = key[:12]
+			}
+			if key == "" {
+				key = "-"
+			}
+			fmt.Fprintf(os.Stderr, "eclc: explain file=%s module=%s phase=%s status=%s key=%s\n",
+				res.Path, res.Module, ph.Phase, ph.Status, key)
+		}
+	}
+	phases := d.CacheStats().Phases
+	for _, ph := range pipeline.AllPhases() {
+		c, ok := phases[ph]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(os.Stderr,
+			"eclc: phase-stats phase=%s mem-hits=%d disk-hits=%d rebuilds=%d failures=%d\n",
+			ph, c.MemHits, c.DiskHits, c.Rebuilds, c.Failures)
+	}
+}
+
 // printCacheStats reports both tiers in a stable, grep-able form (the
 // CI dogfood step parses disk-hit-rate from it).
 func printCacheStats(d *driver.Driver) {
@@ -247,6 +284,23 @@ func cacheCmd(args []string) {
 			fatal(err)
 		}
 		fmt.Printf("cache dir: %s\nentries:   %d\nsize:      %s\n", store.Dir(), entries, formatBytes(bytes))
+		inv, err := store.PhaseInventory()
+		if err != nil || len(inv) == 0 {
+			break
+		}
+		// Per-phase table for the v2 subtree, in pipeline flow order
+		// (grep-able: one phase=... line per populated phase).
+		for _, ph := range pipeline.AllPhases() {
+			info, ok := inv[string(ph)]
+			if !ok {
+				continue
+			}
+			fmt.Printf("phase=%s entries=%d size=%s\n", ph, info.Entries, formatBytes(info.Bytes))
+			delete(inv, string(ph))
+		}
+		for name, info := range inv {
+			fmt.Printf("phase=%s entries=%d size=%s\n", name, info.Entries, formatBytes(info.Bytes))
+		}
 	case "gc":
 		limit, err := parseBytes(*maxBytes)
 		if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -93,5 +94,123 @@ func TestCacheSubcommands(t *testing.T) {
 	}
 	if out, err := exec.Command(exe, "cache", "bogus").CombinedOutput(); err == nil {
 		t.Fatalf("unknown subcommand succeeded:\n%s", out)
+	}
+}
+
+// incrementalExample returns the incremental fixture with the given
+// data-loop increment (the only reactive-structure-preserving knob).
+func incrementalExample(inc int) string {
+	return fmt.Sprintf(`module incpipe (input pure a, input pure b, input int req,
+                 output int done, output pure pulse)
+{
+    int acc;
+    int n;
+    acc = 0;
+    par {
+        while (1) {
+            await (a);
+            emit (pulse);
+        }
+        while (1) {
+            await (b);
+            emit (pulse);
+        }
+        while (1) {
+            await (req);
+            n = 0;
+            while (n < 6) {
+                acc = acc + %d;
+                n = n + 1;
+            }
+            emit_v (done, acc);
+        }
+    }
+}
+`, inc)
+}
+
+// TestExplainReportsPhaseTable drives the -explain flag end to end:
+// a cold build rebuilds every phase, a data-function edit in a new
+// process replays the efsm phase from disk while re-running emission,
+// an unchanged rebuild collapses to the design pseudo-phase, and
+// `eclc cache stats` lists the v2 subtree per phase.
+func TestExplainReportsPhaseTable(t *testing.T) {
+	exe := buildEclc(t)
+	cacheDir, outDir, srcDir := t.TempDir(), t.TempDir(), t.TempDir()
+	src := filepath.Join(srcDir, "inc.ecl")
+
+	run := func(args ...string) string {
+		cmd := exec.Command(exe, append([]string{"-explain", "-cache-dir", cacheDir, "-o", outDir}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("eclc failed: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+
+	if err := os.WriteFile(src, []byte(incrementalExample(2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := run(src)
+	if !strings.Contains(cold, "phase=efsm status=rebuilt") {
+		t.Fatalf("cold explain lacks efsm rebuild:\n%s", cold)
+	}
+
+	// Data-function edit, new process: efsm replays, emission reruns.
+	if err := os.WriteFile(src, []byte(incrementalExample(9)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := run(src)
+	if !strings.Contains(edited, "phase=efsm status=disk-hit") {
+		t.Fatalf("edited explain lacks efsm disk-hit:\n%s", edited)
+	}
+	if !strings.Contains(edited, "phase=emit-c status=rebuilt") {
+		t.Fatalf("edited explain lacks emit-c rebuild:\n%s", edited)
+	}
+	if !strings.Contains(edited, "phase-stats phase=efsm mem-hits=0 disk-hits=1 rebuilds=0 failures=0") {
+		t.Fatalf("edited explain lacks phase-stats summary:\n%s", edited)
+	}
+
+	// Unchanged rebuild, new process: whole-design v1 replay.
+	unchanged := run(src)
+	if !strings.Contains(unchanged, "phase=design status=disk-hit") {
+		t.Fatalf("unchanged explain lacks design disk-hit:\n%s", unchanged)
+	}
+
+	// The store-level per-phase table.
+	out, err := exec.Command(exe, "cache", "stats", "-cache-dir", cacheDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cache stats: %v\n%s", err, out)
+	}
+	for _, want := range []string{"phase=efsm entries=", "phase=parse entries=", "phase=emit-c entries="} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("cache stats lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBatchMalformedFileDiagnostics mixes a malformed file into a
+// batch directory: eclc must fail, name the offending file with a
+// parse-phase diagnostic, and still compile the good file.
+func TestBatchMalformedFileDiagnostics(t *testing.T) {
+	exe := buildEclc(t)
+	srcDir, outDir := t.TempDir(), t.TempDir()
+	if err := os.WriteFile(filepath.Join(srcDir, "good.ecl"), []byte(incrementalExample(2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(srcDir, "bad.ecl"), []byte("module broken ( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-all", "-no-disk-cache", "-o", outDir, srcDir)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("batch with malformed file succeeded:\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "bad.ecl:1:") || !strings.Contains(text, "[parse]") {
+		t.Fatalf("stderr lacks structured bad.ecl parse diagnostic:\n%s", text)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "incpipe.c")); err != nil {
+		t.Errorf("good file not compiled despite per-file failure: %v", err)
 	}
 }

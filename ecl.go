@@ -54,6 +54,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/exec"
 	"repro/internal/lower"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/source"
 )
@@ -143,8 +144,28 @@ const (
 func NewDriver(workers int) *Driver { return driver.New(workers) }
 
 // CacheStats snapshots a Driver's cache traffic across both tiers
-// (in-memory designs plus the persistent artifact store).
+// (in-memory designs plus the persistent artifact store), including
+// the per-phase breakdown in its Phases field.
 type CacheStats = driver.CacheStats
+
+// PhaseStats breaks a Driver's cache traffic down per pipeline phase
+// (parse, sem, lower, efsm, efsm-min, emit-*, stats): how often each
+// phase replayed from a cache tier versus rebuilt.
+type PhaseStats = driver.PhaseStats
+
+// PhaseCounts is one pipeline phase's aggregated cache traffic.
+type PhaseCounts = pipeline.PhaseCounts
+
+// PipelinePhase names one node of the compilation phase graph.
+type PipelinePhase = pipeline.Phase
+
+// PhaseResult records how one phase of one build was satisfied
+// (rebuilt, memory hit, disk hit); BuildResult.Phases carries them.
+type PhaseResult = pipeline.PhaseResult
+
+// ExpandError is the structured failure ExpandModules reports,
+// carrying file/phase diagnostics for the unexpandable file.
+type ExpandError = driver.ExpandError
 
 // DiskCache is the persistent content-addressed artifact store; assign
 // one to Driver.Disk to make separate processes share compiled

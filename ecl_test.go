@@ -282,7 +282,9 @@ func TestPublicAPIDiskCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gc.LiveEntries != 1 {
-		t.Fatalf("GCCache sees %d live entries, want 1", gc.LiveEntries)
+	// One v1 design manifest plus the v2 phase snapshots the pipeline
+	// stored for it (parse, lower, efsm, emit-c).
+	if gc.LiveEntries != 5 {
+		t.Fatalf("GCCache sees %d live entries, want 5 (1 design + 4 phase)", gc.LiveEntries)
 	}
 }

@@ -1,0 +1,32 @@
+/* Incremental-pipeline fixture: three reactive branches plus one pure
+ * data loop. The inner while loop is extracted as a C data function,
+ * so editing its body (the `acc = acc + 2` line the CI dogfood step
+ * rewrites) re-runs only the front end and emission — the cached EFSM
+ * phase replays. See README "Incremental pipeline".
+ */
+module incpipe (input pure a, input pure b, input int req,
+                output int done, output pure pulse)
+{
+    int acc;
+    int n;
+    acc = 0;
+    par {
+        while (1) {
+            await (a);
+            emit (pulse);
+        }
+        while (1) {
+            await (b);
+            emit (pulse);
+        }
+        while (1) {
+            await (req);
+            n = 0;
+            while (n < 6) {
+                acc = acc + 2;
+                n = n + 1;
+            }
+            emit_v (done, acc);
+        }
+    }
+}

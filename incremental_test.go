@@ -1,0 +1,124 @@
+package ecl
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/ctypes"
+	"repro/internal/cval"
+)
+
+// incrementalSrc mirrors the driver fixture: factor appears only in an
+// extracted data-function body.
+func incrementalSrc(factor int) string {
+	return fmt.Sprintf(`
+module incworker (input pure a, input pure b, input int req,
+                  output int done, output pure pulse)
+{
+    int acc;
+    int n;
+    acc = 0;
+    par {
+        while (1) {
+            await (a);
+            emit (pulse);
+        }
+        while (1) {
+            await (b);
+            emit (pulse);
+        }
+        while (1) {
+            await (req);
+            n = 0;
+            while (n < 6) {
+                acc = acc + %d;
+                n = n + 1;
+            }
+            emit_v (done, acc);
+        }
+    }
+}
+`, factor)
+}
+
+// TestReplayedEFSMBehavesIdentically drives a design whose EFSM was
+// replayed from a snapshot (recorded for a different data-function
+// body) against a fully fresh compile of the same source, through the
+// public Machine API, and diffs their canonical traces. The decoded
+// machine must execute the *edited* data function.
+func TestReplayedEFSMBehavesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := NewDriver(0)
+	seed.Disk = store
+	if res := seed.BuildOne(BuildRequest{Path: "inc.ecl", Source: incrementalSrc(3),
+		Targets: []Target{TargetC}}); res.Failed() {
+		t.Fatal(res.Err)
+	}
+
+	store2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewDriver(0)
+	warm.Disk = store2
+	replayed := warm.BuildOne(BuildRequest{Path: "inc.ecl", Source: incrementalSrc(5)})
+	if replayed.Failed() || replayed.Design == nil {
+		t.Fatalf("replayed build: err=%v", replayed.Err)
+	}
+	if got := warm.CacheStats().Phases["efsm"]; got.DiskHits != 1 {
+		t.Fatalf("efsm phase not replayed from disk: %+v", got)
+	}
+
+	fresh := NewDriver(0)
+	fresh.NoCache = true
+	cold := fresh.BuildOne(BuildRequest{Path: "inc.ecl", Source: incrementalSrc(5)})
+	if cold.Failed() || cold.Design == nil {
+		t.Fatalf("cold build: err=%v", cold.Err)
+	}
+
+	// Deterministic pseudo-random input schedule exercising the data
+	// path (req) and the pure branches.
+	var instants []map[string]Value
+	rng := uint32(12345)
+	for i := 0; i < 64; i++ {
+		rng = rng*1664525 + 1013904223
+		in := map[string]Value{}
+		if rng&1 != 0 {
+			in["a"] = Value{}
+		}
+		if rng&2 != 0 {
+			in["b"] = Value{}
+		}
+		if rng&4 != 0 {
+			in["req"] = cval.FromInt(ctypes.Int, int64(i%7))
+		}
+		instants = append(instants, in)
+	}
+	for _, backend := range []string{"efsm", "efsm-min"} {
+		mr, err := OpenMachine(backend, replayed.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := OpenMachine(backend, cold.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := RecordTrace(mr, instants)
+		if err != nil {
+			t.Fatalf("%s: replayed trace: %v", backend, err)
+		}
+		tc, err := RecordTrace(mc, instants)
+		if err != nil {
+			t.Fatalf("%s: cold trace: %v", backend, err)
+		}
+		if err := DiffTraces(tr, tc); err != nil {
+			t.Errorf("%s: replayed machine diverges from cold compile: %v", backend, err)
+		}
+	}
+	_ = cache.PhaseSchemaVersion // pin the v2 schema into the public test build
+}

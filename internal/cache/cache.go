@@ -3,24 +3,35 @@
 // so separate eclc processes (and separate CI runs) pay for a design
 // once per content hash.
 //
-// On-disk layout, under the store root (default
-// os.UserCacheDir()/ecl, overridable with $ECL_CACHE_DIR):
+// The store keeps two schema subtrees side by side under its root
+// (default os.UserCacheDir()/ecl, overridable with $ECL_CACHE_DIR):
 //
-//	<root>/v1/manifests/<aa>/<design-key>.json
+//	<root>/v1/manifests/<aa>/<design-key>.json   whole-design artifacts
 //	<root>/v1/blobs/<aa>/<sha256-of-content>
 //	<root>/v1/tmp/...
-//	<root>/v1/gc.lock
+//	<root>/v2/manifests/<aa>/<phase-key>.json    per-phase snapshots
+//	<root>/v2/blobs/<aa>/<sha256-of-content>
+//	<root>/v2/tmp/...
 //
-// The schema version is part of the path, so a format change simply
-// starts a fresh subtree instead of misreading old state. Blobs are
-// content-addressed (the file name is the SHA-256 of the bytes) and
-// sharded by their first two hex digits; a manifest per design key
-// maps artifact names to blob hashes. Every write goes through a temp
-// file in tmp/ followed by an atomic rename on the same filesystem, so
-// readers never observe a partial file and concurrent writers of the
-// same content converge on identical bytes. Corrupt or truncated
-// manifests and blobs are detected (JSON/shape validation for
-// manifests, hash verification for blobs), treated as misses, and
+// v1 manifests map one *design* key (source + module + options hash)
+// to its rendered artifact set — the fast path that serves a fully
+// unchanged rebuild without running any compiler phase. v2 manifests
+// map one *phase* key (derived from the phase's inputs, see
+// internal/pipeline) to that phase's serialized output snapshot, so an
+// edited design resumes compilation at its first dirty phase and
+// replays everything downstream that still matches. The two subtrees
+// age independently: a store written by an older build keeps its v1
+// entries readable, and a v2-aware build simply starts populating the
+// second subtree alongside.
+//
+// Blobs are content-addressed (the file name is the SHA-256 of the
+// bytes) and sharded by their first two hex digits; a manifest maps
+// artifact names to blob hashes. Every write goes through a temp file
+// in the subtree's tmp/ followed by an atomic rename on the same
+// filesystem, so readers never observe a partial file and concurrent
+// writers of the same content converge on identical bytes. Corrupt or
+// truncated manifests and blobs are detected (JSON/shape validation
+// for manifests, hash verification for blobs), treated as misses, and
 // deleted so the next Put repairs them — never an error to the build.
 //
 // Mutual exclusion across processes uses best-effort lock files
@@ -41,9 +52,15 @@ import (
 	"time"
 )
 
-// SchemaVersion is the on-disk format version; it names the versioned
-// subtree (v1/...) and is checked inside every manifest.
+// SchemaVersion is the on-disk format version of the whole-design
+// subtree; it names the v1/... paths and is checked inside every
+// design manifest.
 const SchemaVersion = 1
+
+// PhaseSchemaVersion is the on-disk format version of the phase-keyed
+// subtree; it names the v2/... paths and is checked inside every phase
+// manifest.
+const PhaseSchemaVersion = 2
 
 // EnvDir is the environment variable overriding the default store
 // location.
@@ -69,24 +86,40 @@ type Entry struct {
 	Artifacts map[string]string
 }
 
-// Stats counts store traffic since Open. Evictions accumulate across
-// GC calls; Errors counts corruption and I/O problems on either path —
+// PhaseEntry is one phase key's cached state: the pipeline phase that
+// produced it and its named snapshot blobs (serialized IR, rendered
+// artifact text, ...).
+type PhaseEntry struct {
+	Phase string
+	Blobs map[string]string
+}
+
+// Stats counts store traffic since Open. Hits/Misses/Puts cover the
+// v1 design tier, PhaseHits/PhaseMisses/PhasePuts the v2 phase tier —
+// kept separate so callers can report whole-design replays and
+// per-phase resumption independently. Evictions accumulate across GC
+// calls; Errors counts corruption and I/O problems on either path —
 // swallowed as misses on reads, returned to the caller on writes.
 type Stats struct {
-	Hits, Misses, Puts, Evictions, Errors int64
+	Hits, Misses, Puts                int64
+	PhaseHits, PhaseMisses, PhasePuts int64
+	Evictions, Errors                 int64
 }
 
 // Store is a persistent artifact cache rooted at one directory. It is
 // safe for concurrent use by multiple goroutines and multiple
 // processes.
 type Store struct {
-	root string // versioned subtree: <dir>/v1
+	dir    string // store root (holds the v1/ and v2/ subtrees)
+	v1, v2 string // versioned subtree roots
 
-	hits, misses, puts, evictions, errors atomic.Int64
+	hits, misses, puts                atomic.Int64
+	phaseHits, phaseMisses, phasePuts atomic.Int64
+	evictions, errors                 atomic.Int64
 }
 
 // Open returns a store rooted at dir ("" means DefaultDir), creating
-// the directory tree as needed.
+// the directory trees as needed.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		var err error
@@ -95,31 +128,40 @@ func Open(dir string) (*Store, error) {
 			return nil, err
 		}
 	}
-	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
-	for _, sub := range []string{"manifests", "blobs", "tmp"} {
-		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("cache: %w", err)
+	s := &Store{
+		dir: dir,
+		v1:  filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion)),
+		v2:  filepath.Join(dir, fmt.Sprintf("v%d", PhaseSchemaVersion)),
+	}
+	for _, root := range []string{s.v1, s.v2} {
+		for _, sub := range []string{"manifests", "blobs", "tmp"} {
+			if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+				return nil, fmt.Errorf("cache: %w", err)
+			}
 		}
 	}
-	return &Store{root: root}, nil
+	return s, nil
 }
 
 // Dir returns the store's root directory (without the version
-// component).
-func (s *Store) Dir() string { return filepath.Dir(s.root) }
+// components).
+func (s *Store) Dir() string { return s.dir }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Puts:      s.puts.Load(),
-		Evictions: s.evictions.Load(),
-		Errors:    s.errors.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		PhaseHits:   s.phaseHits.Load(),
+		PhaseMisses: s.phaseMisses.Load(),
+		PhasePuts:   s.phasePuts.Load(),
+		Evictions:   s.evictions.Load(),
+		Errors:      s.errors.Load(),
 	}
 }
 
-// manifest is the on-disk record for one design key.
+// manifest is the on-disk record for one design key (v1 subtree).
 type manifest struct {
 	Version   int               `json:"version"`
 	Key       string            `json:"key"`
@@ -131,6 +173,18 @@ type manifest struct {
 // on.
 func (m *manifest) valid(key string) bool {
 	return m.Version == SchemaVersion && m.Key == key && m.Module != "" && len(m.Artifacts) > 0
+}
+
+// phaseManifest is the on-disk record for one phase key (v2 subtree).
+type phaseManifest struct {
+	Version int               `json:"version"`
+	Key     string            `json:"key"`
+	Phase   string            `json:"phase"`
+	Blobs   map[string]string `json:"blobs"` // blob name -> blob hash
+}
+
+func (m *phaseManifest) valid(key string) bool {
+	return m.Version == PhaseSchemaVersion && m.Key == key && m.Phase != "" && len(m.Blobs) > 0
 }
 
 // Get looks up a design key and resolves the wanted artifact keys. It
@@ -151,7 +205,7 @@ func (s *Store) Get(key string, want []string) (*Entry, bool) {
 			s.misses.Add(1)
 			return nil, false
 		}
-		text, ok := s.readBlob(hash)
+		text, ok := s.readBlob(s.v1, hash)
 		if !ok {
 			// A missing or corrupt blob invalidates the manifest that
 			// references it: drop both so the key rebuilds cleanly.
@@ -176,7 +230,7 @@ func (s *Store) Put(key string, e *Entry) error {
 	}
 	hashes := make(map[string]string, len(e.Artifacts))
 	for k, text := range e.Artifacts {
-		h, err := s.writeBlob(text)
+		h, err := s.writeBlob(s.v1, text)
 		if err != nil {
 			s.errors.Add(1)
 			return err
@@ -202,7 +256,7 @@ func (s *Store) Put(key string, e *Entry) error {
 	if err != nil {
 		return err
 	}
-	if err := s.writeFileAtomic(s.manifestPath(key), data); err != nil {
+	if err := s.writeFileAtomic(s.v1, s.manifestPath(key), data); err != nil {
 		s.errors.Add(1)
 		return err
 	}
@@ -210,38 +264,151 @@ func (s *Store) Put(key string, e *Entry) error {
 	return nil
 }
 
-// Clear removes every manifest and blob (the whole versioned subtree),
-// leaving an empty, usable store.
-func (s *Store) Clear() error {
-	for _, sub := range []string{"manifests", "blobs", "tmp"} {
-		p := filepath.Join(s.root, sub)
-		if err := os.RemoveAll(p); err != nil {
+// GetPhase looks up a phase key and resolves the wanted blob names,
+// with the same miss-and-repair discipline as Get. A hit refreshes the
+// phase manifest's LRU clock.
+func (s *Store) GetPhase(key string, want []string) (*PhaseEntry, bool) {
+	m, ok := s.readPhaseManifest(key)
+	if !ok {
+		s.phaseMisses.Add(1)
+		return nil, false
+	}
+	e := &PhaseEntry{Phase: m.Phase, Blobs: make(map[string]string, len(want))}
+	for _, k := range want {
+		hash, ok := m.Blobs[k]
+		if !ok {
+			s.phaseMisses.Add(1)
+			return nil, false
+		}
+		text, ok := s.readBlob(s.v2, hash)
+		if !ok {
+			os.Remove(s.phaseManifestPath(key))
+			s.phaseMisses.Add(1)
+			return nil, false
+		}
+		e.Blobs[k] = text
+	}
+	s.phaseHits.Add(1)
+	now := time.Now()
+	os.Chtimes(s.phaseManifestPath(key), now, now) // LRU touch; best-effort
+	return e, true
+}
+
+// PutPhase stores one phase snapshot. Phase manifests are written
+// whole (a phase's blob set is produced in one shot, so there is
+// nothing to merge); concurrent writers of the same key converge via
+// the atomic rename.
+func (s *Store) PutPhase(key string, e *PhaseEntry) error {
+	if e.Phase == "" || len(e.Blobs) == 0 {
+		return fmt.Errorf("cache: refusing to store empty phase entry for %s", key)
+	}
+	hashes := make(map[string]string, len(e.Blobs))
+	for k, text := range e.Blobs {
+		h, err := s.writeBlob(s.v2, text)
+		if err != nil {
+			s.errors.Add(1)
 			return err
 		}
-		if err := os.MkdirAll(p, 0o755); err != nil {
-			return err
+		hashes[k] = h
+	}
+	m := &phaseManifest{Version: PhaseSchemaVersion, Key: key, Phase: e.Phase, Blobs: hashes}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(s.v2, s.phaseManifestPath(key), data); err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	s.phasePuts.Add(1)
+	return nil
+}
+
+// PhaseInfo summarizes one pipeline phase's footprint in the v2
+// subtree.
+type PhaseInfo struct {
+	Entries int
+	Bytes   int64 // manifest bytes plus referenced blob bytes
+}
+
+// PhaseInventory walks the v2 subtree and groups its entries by the
+// pipeline phase that produced them (the `eclc cache stats` table).
+// Blobs shared by several manifests of one phase are counted once per
+// phase.
+func (s *Store) PhaseInventory() (map[string]PhaseInfo, error) {
+	out := make(map[string]PhaseInfo)
+	seen := make(map[string]map[string]bool) // phase -> blob hash -> counted
+	err := filepath.WalkDir(filepath.Join(s.v2, "manifests"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		key := d.Name()[:len(d.Name())-len(".json")]
+		m, ok := s.readPhaseManifest(key)
+		if !ok {
+			return nil
+		}
+		info := out[m.Phase]
+		info.Entries++
+		if fi, err := d.Info(); err == nil {
+			info.Bytes += fi.Size()
+		}
+		if seen[m.Phase] == nil {
+			seen[m.Phase] = make(map[string]bool)
+		}
+		for _, h := range m.Blobs {
+			if seen[m.Phase][h] {
+				continue
+			}
+			seen[m.Phase][h] = true
+			if fi, err := os.Stat(s.blobPathIn(s.v2, h)); err == nil {
+				info.Bytes += fi.Size()
+			}
+		}
+		out[m.Phase] = info
+		return nil
+	})
+	return out, err
+}
+
+// Clear removes every manifest and blob in both subtrees, leaving an
+// empty, usable store.
+func (s *Store) Clear() error {
+	for _, root := range []string{s.v1, s.v2} {
+		for _, sub := range []string{"manifests", "blobs", "tmp"} {
+			p := filepath.Join(root, sub)
+			if err := os.RemoveAll(p); err != nil {
+				return err
+			}
+			if err := os.MkdirAll(p, 0o755); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Size walks the store and returns its total bytes (manifests plus
-// blobs) and entry (manifest) count.
+// Size walks both subtrees and returns their total bytes (manifests
+// plus blobs) and entry (manifest) count.
 func (s *Store) Size() (bytes int64, entries int, err error) {
-	err = filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return nil // a file vanishing mid-walk is fine
-		}
-		info, err := d.Info()
-		if err != nil {
+	for _, root := range []string{s.v1, s.v2} {
+		werr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil // a file vanishing mid-walk is fine
+			}
+			info, err := d.Info()
+			if err != nil {
+				return nil
+			}
+			bytes += info.Size()
+			if filepath.Ext(path) == ".json" {
+				entries++
+			}
 			return nil
+		})
+		if werr != nil {
+			err = werr
 		}
-		bytes += info.Size()
-		if filepath.Ext(path) == ".json" {
-			entries++
-		}
-		return nil
-	})
+	}
 	return bytes, entries, err
 }
 
@@ -256,15 +423,21 @@ func shard(hash string) string {
 }
 
 func (s *Store) manifestPath(key string) string {
-	return filepath.Join(s.root, "manifests", shard(key), key+".json")
+	return filepath.Join(s.v1, "manifests", shard(key), key+".json")
 }
 
-func (s *Store) blobPath(hash string) string {
-	return filepath.Join(s.root, "blobs", shard(hash), hash)
+func (s *Store) phaseManifestPath(key string) string {
+	return filepath.Join(s.v2, "manifests", shard(key), key+".json")
 }
 
-// readManifest loads and validates a key's manifest, deleting it on
-// corruption. Swallowed failures other than plain absence count
+func (s *Store) blobPath(hash string) string { return s.blobPathIn(s.v1, hash) }
+
+func (s *Store) blobPathIn(root, hash string) string {
+	return filepath.Join(root, "blobs", shard(hash), hash)
+}
+
+// readManifest loads and validates a design key's manifest, deleting
+// it on corruption. Swallowed failures other than plain absence count
 // toward the Errors stat.
 func (s *Store) readManifest(key string) (*manifest, bool) {
 	path := s.manifestPath(key)
@@ -284,11 +457,30 @@ func (s *Store) readManifest(key string) (*manifest, bool) {
 	return &m, true
 }
 
-// readBlob loads a blob and verifies its content hash, deleting it on
-// mismatch (truncation, garbage, partial write from a crashed
-// non-atomic filesystem).
-func (s *Store) readBlob(hash string) (string, bool) {
-	path := s.blobPath(hash)
+// readPhaseManifest is readManifest for the v2 subtree.
+func (s *Store) readPhaseManifest(key string) (*phaseManifest, bool) {
+	path := s.phaseManifestPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.errors.Add(1)
+		}
+		return nil, false
+	}
+	var m phaseManifest
+	if err := json.Unmarshal(data, &m); err != nil || !m.valid(key) {
+		s.errors.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	return &m, true
+}
+
+// readBlob loads a blob from the given subtree and verifies its
+// content hash, deleting it on mismatch (truncation, garbage, partial
+// write from a crashed non-atomic filesystem).
+func (s *Store) readBlob(root, hash string) (string, bool) {
+	path := s.blobPathIn(root, hash)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.errors.Add(1) // a referenced blob should exist and be readable
@@ -303,29 +495,30 @@ func (s *Store) readBlob(hash string) (string, bool) {
 	return string(data), true
 }
 
-// writeBlob stores content under its hash (idempotent: an existing
-// blob of the same hash is left alone) and returns the hash.
-func (s *Store) writeBlob(text string) (string, error) {
+// writeBlob stores content in the given subtree under its hash
+// (idempotent: an existing blob of the same hash is left alone) and
+// returns the hash.
+func (s *Store) writeBlob(root, text string) (string, error) {
 	sum := sha256.Sum256([]byte(text))
 	hash := hex.EncodeToString(sum[:])
-	path := s.blobPath(hash)
+	path := s.blobPathIn(root, hash)
 	if _, err := os.Stat(path); err == nil {
 		return hash, nil
 	}
-	if err := s.writeFileAtomic(path, []byte(text)); err != nil {
+	if err := s.writeFileAtomic(root, path, []byte(text)); err != nil {
 		return "", err
 	}
 	return hash, nil
 }
 
-// writeFileAtomic writes via a temp file in the store's tmp/ dir and
+// writeFileAtomic writes via a temp file in the subtree's tmp/ dir and
 // renames into place, so concurrent readers and crashed writers never
 // expose partial content.
-func (s *Store) writeFileAtomic(path string, data []byte) error {
+func (s *Store) writeFileAtomic(root, path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "w*")
+	tmp, err := os.CreateTemp(filepath.Join(root, "tmp"), "w*")
 	if err != nil {
 		return err
 	}

@@ -18,7 +18,8 @@ const gcGrace = time.Hour
 
 // GCResult reports one GC pass.
 type GCResult struct {
-	// EvictedEntries is the number of manifests removed.
+	// EvictedEntries is the number of manifests removed (design and
+	// phase manifests alike).
 	EvictedEntries int
 	// EvictedBlobs is the number of blob files removed.
 	EvictedBlobs int
@@ -30,6 +31,7 @@ type GCResult struct {
 }
 
 type gcEntry struct {
+	root  string // subtree the entry lives in (blobs are per-subtree)
 	key   string
 	path  string
 	size  int64
@@ -37,14 +39,22 @@ type gcEntry struct {
 	blobs []string
 }
 
+// gcTree is the per-subtree blob bookkeeping for one GC pass.
+type gcTree struct {
+	blobSize map[string]int64
+	blobTime map[string]time.Time
+	refs     map[string]int
+}
+
 // GC trims the store to the given bounds using LRU order (a Get hit
 // refreshes a manifest's clock). maxAge > 0 evicts entries unused for
 // longer; maxBytes > 0 then evicts least-recently-used entries until
-// the store fits. Evicting an entry immediately frees the blobs only
-// it referenced; orphan blobs never referenced by any manifest are
-// swept too unless very recent (they may belong to an in-flight Put).
-// Zero bounds skip their respective phase, so GC(0, 0) is just an
-// orphan sweep.
+// the store fits. Both schema subtrees (v1 design manifests and v2
+// phase manifests) share one LRU clock and one byte budget. Evicting
+// an entry immediately frees the blobs only it referenced; orphan
+// blobs never referenced by any manifest are swept too unless very
+// recent (they may belong to an in-flight Put). Zero bounds skip their
+// respective phase, so GC(0, 0) is just an orphan sweep.
 func (s *Store) GC(maxBytes int64, maxAge time.Duration) (GCResult, error) {
 	unlock := s.lock("gc.lock", 5*time.Second)
 	defer unlock()
@@ -52,48 +62,66 @@ func (s *Store) GC(maxBytes int64, maxAge time.Duration) (GCResult, error) {
 	var res GCResult
 	now := time.Now()
 
-	// Inventory manifests (dropping corrupt ones) and blobs, and
-	// refcount every blob so eviction can free exclusively-owned blobs
-	// in O(1).
+	// Inventory manifests (dropping corrupt ones) and blobs in both
+	// subtrees, and refcount every blob so eviction can free
+	// exclusively-owned blobs in O(1).
 	var entries []gcEntry
-	manifestDir := filepath.Join(s.root, "manifests")
-	filepath.WalkDir(manifestDir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+	trees := map[string]*gcTree{}
+	for _, root := range []string{s.v1, s.v2} {
+		root := root
+		tr := &gcTree{
+			blobSize: map[string]int64{},
+			blobTime: map[string]time.Time{},
+			refs:     map[string]int{},
+		}
+		trees[root] = tr
+		filepath.WalkDir(filepath.Join(root, "manifests"), func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+				return nil
+			}
+			info, err := d.Info()
+			if err != nil {
+				return nil
+			}
+			key := d.Name()[:len(d.Name())-len(".json")]
+			var blobs []string
+			if root == s.v1 {
+				m, ok := s.readManifest(key)
+				if !ok {
+					return nil // corrupt: readManifest already deleted it
+				}
+				for _, h := range m.Artifacts {
+					blobs = append(blobs, h)
+				}
+			} else {
+				m, ok := s.readPhaseManifest(key)
+				if !ok {
+					return nil
+				}
+				for _, h := range m.Blobs {
+					blobs = append(blobs, h)
+				}
+			}
+			entries = append(entries, gcEntry{
+				root: root, key: key, path: path,
+				size: info.Size(), mtime: info.ModTime(), blobs: blobs,
+			})
 			return nil
-		}
-		info, err := d.Info()
-		if err != nil {
+		})
+		filepath.WalkDir(filepath.Join(root, "blobs"), func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			if info, err := d.Info(); err == nil {
+				tr.blobSize[d.Name()] = info.Size()
+				tr.blobTime[d.Name()] = info.ModTime()
+			}
 			return nil
-		}
-		key := d.Name()[:len(d.Name())-len(".json")]
-		m, ok := s.readManifest(key)
-		if !ok {
-			return nil // corrupt: readManifest already deleted it
-		}
-		e := gcEntry{key: key, path: path, size: info.Size(), mtime: info.ModTime()}
-		for _, h := range m.Artifacts {
-			e.blobs = append(e.blobs, h)
-		}
-		entries = append(entries, e)
-		return nil
-	})
-	blobSize := map[string]int64{}
-	blobTime := map[string]time.Time{}
-	refs := map[string]int{}
-	blobDir := filepath.Join(s.root, "blobs")
-	filepath.WalkDir(blobDir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return nil
-		}
-		if info, err := d.Info(); err == nil {
-			blobSize[d.Name()] = info.Size()
-			blobTime[d.Name()] = info.ModTime()
-		}
-		return nil
-	})
+		})
+	}
 	for _, e := range entries {
 		for _, h := range e.blobs {
-			refs[h]++
+			trees[e.root].refs[h]++
 		}
 	}
 	// The size phase targets only bytes it could actually reclaim:
@@ -102,11 +130,13 @@ func (s *Store) GC(maxBytes int64, maxAge time.Duration) (GCResult, error) {
 	// orphan would make the loop evict every live entry without ever
 	// reaching the budget.
 	total := int64(0)
-	for h, sz := range blobSize {
-		if refs[h] == 0 && now.Sub(blobTime[h]) < gcGrace {
-			continue
+	for _, tr := range trees {
+		for h, sz := range tr.blobSize {
+			if tr.refs[h] == 0 && now.Sub(tr.blobTime[h]) < gcGrace {
+				continue
+			}
+			total += sz
 		}
-		total += sz
 	}
 	for _, e := range entries {
 		total += e.size
@@ -119,20 +149,21 @@ func (s *Store) GC(maxBytes int64, maxAge time.Duration) (GCResult, error) {
 		total -= e.size
 		res.EvictedEntries++
 		res.FreedBytes += e.size
+		tr := trees[e.root]
 		for _, h := range e.blobs {
-			refs[h]--
-			if refs[h] > 0 {
+			tr.refs[h]--
+			if tr.refs[h] > 0 {
 				continue
 			}
-			sz, onDisk := blobSize[h]
+			sz, onDisk := tr.blobSize[h]
 			if !onDisk {
 				continue
 			}
-			if os.Remove(s.blobPath(h)) == nil {
+			if os.Remove(s.blobPathIn(e.root, h)) == nil {
 				res.EvictedBlobs++
 				res.FreedBytes += sz
 				total -= sz
-				delete(blobSize, h)
+				delete(tr.blobSize, h)
 			}
 		}
 	}
@@ -156,25 +187,26 @@ func (s *Store) GC(maxBytes int64, maxAge time.Duration) (GCResult, error) {
 
 	// Sweep orphan blobs — never referenced by any manifest we saw —
 	// with the grace window, plus stale tmp files.
-	for h, sz := range blobSize {
-		if refs[h] > 0 || now.Sub(blobTime[h]) < gcGrace {
-			continue
+	for root, tr := range trees {
+		for h, sz := range tr.blobSize {
+			if tr.refs[h] > 0 || now.Sub(tr.blobTime[h]) < gcGrace {
+				continue
+			}
+			if os.Remove(s.blobPathIn(root, h)) == nil {
+				res.EvictedBlobs++
+				res.FreedBytes += sz
+			}
 		}
-		if os.Remove(s.blobPath(h)) == nil {
-			res.EvictedBlobs++
-			res.FreedBytes += sz
-		}
-	}
-	tmpDir := filepath.Join(s.root, "tmp")
-	filepath.WalkDir(tmpDir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
+		filepath.WalkDir(filepath.Join(root, "tmp"), func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			if info, err := d.Info(); err == nil && now.Sub(info.ModTime()) > gcGrace {
+				os.Remove(path)
+			}
 			return nil
-		}
-		if info, err := d.Info(); err == nil && now.Sub(info.ModTime()) > gcGrace {
-			os.Remove(path)
-		}
-		return nil
-	})
+		})
+	}
 
 	s.evictions.Add(int64(res.EvictedEntries))
 	var err error

@@ -26,7 +26,7 @@ var lockSeq atomic.Int64
 // rename-aside), so a holder that outlived lockStale and was broken
 // cannot delete its successor's live lock.
 func (s *Store) lock(name string, wait time.Duration) (unlock func()) {
-	path := filepath.Join(s.root, "tmp", name)
+	path := filepath.Join(s.v1, "tmp", name)
 	token := fmt.Sprintf("%d-%d", os.Getpid(), lockSeq.Add(1))
 	deadline := time.Now().Add(wait)
 	backoff := time.Millisecond

@@ -27,10 +27,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
-	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/efsm"
-	"repro/internal/lower"
+	"repro/internal/pipeline"
 	"repro/internal/source"
 )
 
@@ -119,6 +117,13 @@ type Result struct {
 	Stats     *core.Stats
 	Design    *core.Design
 
+	// Phases records how each pipeline phase was satisfied for this
+	// request. A request that ran the pipeline carries one entry per
+	// phase walked (parse ... emit); a request served entirely from
+	// the design-level cache carries a single pseudo-phase entry
+	// (pipeline.PhaseDesign) naming the tier that served it.
+	Phases []pipeline.PhaseResult
+
 	Diags      []Diagnostic
 	Err        error
 	Cached     bool // served without recompiling (either cache tier)
@@ -151,13 +156,29 @@ type Driver struct {
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	pipe    *pipeline.Runner
 	hits    atomic.Int64
 	misses  atomic.Int64
+}
+
+// runner returns the per-driver phase-graph runner, created on first
+// use with the driver's disk store and cache mode.
+func (d *Driver) runner() *pipeline.Runner {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pipe == nil {
+		d.pipe = &pipeline.Runner{Disk: d.Disk, NoCache: d.NoCache}
+	}
+	return d.pipe
 }
 
 // New returns a Driver with the given worker-pool size (<= 0 means
 // GOMAXPROCS).
 func New(workers int) *Driver { return &Driver{Workers: workers} }
+
+// PhaseStats aggregates per-phase cache traffic (hit/miss/rebuilt per
+// pipeline phase) across a driver's builds.
+type PhaseStats = pipeline.PhaseStats
 
 // CacheStats snapshots both cache tiers' traffic.
 type CacheStats struct {
@@ -166,8 +187,14 @@ type CacheStats struct {
 	// compile.
 	Hits, Misses int64
 	// DiskHits, DiskMisses, and DiskEvictions count the persistent
-	// tier (all zero when the driver has no Disk store).
+	// tier's whole-design (v1) manifests (all zero when the driver has
+	// no Disk store).
 	DiskHits, DiskMisses, DiskEvictions int64
+	// Phases breaks pipeline traffic down per phase: how often each
+	// phase was replayed from memory or the v2 phase store versus
+	// rebuilt. Requests served entirely from the design-level tiers do
+	// not appear here (they are counted by Hits/DiskHits).
+	Phases PhaseStats
 }
 
 // CacheStats reports cache traffic so far across both tiers.
@@ -176,6 +203,14 @@ func (d *Driver) CacheStats() CacheStats {
 	if d.Disk != nil {
 		st := d.Disk.Stats()
 		cs.DiskHits, cs.DiskMisses, cs.DiskEvictions = st.Hits, st.Misses, st.Evictions
+	}
+	d.mu.Lock()
+	pipe := d.pipe
+	d.mu.Unlock()
+	if pipe != nil {
+		cs.Phases = pipe.Stats()
+	} else {
+		cs.Phases = PhaseStats{}
 	}
 	return cs
 }
@@ -277,6 +312,7 @@ func (d *Driver) buildOne(req Request) Result {
 		if module, arts, ok := entry.replay(want); ok {
 			d.hits.Add(1)
 			res.Cached = true
+			res.Phases = designPhases(pipeline.StatusMemHit, key)
 			fillFromArtifacts(&res, req, module, arts)
 			return res
 		}
@@ -286,6 +322,7 @@ func (d *Driver) buildOne(req Request) Result {
 			if ce, ok := d.Disk.Get(key, want); ok {
 				if tryFillFromArtifacts(&res, req, ce.Module, ce.Artifacts) {
 					res.Cached, res.DiskCached = true, true
+					res.Phases = designPhases(pipeline.StatusDiskHit, key)
 					entry.absorb(ce.Module, ce.Artifacts)
 					return res
 				}
@@ -299,13 +336,15 @@ func (d *Driver) buildOne(req Request) Result {
 	entry.once.Do(func() {
 		built = true
 		d.misses.Add(1)
-		entry.module, entry.design, entry.diags, entry.err =
-			compileModule(req.Path, src, req.Module, req.Options)
+		d.compileEntry(entry, req, src)
 		entry.hasDesign.Store(true)
 	})
-	if !built {
+	if built {
+		res.Phases = entry.phases
+	} else {
 		d.hits.Add(1)
 		res.Cached = true
+		res.Phases = designPhases(pipeline.StatusMemHit, key)
 	}
 	if entry.module != "" {
 		res.Module = entry.module
@@ -417,38 +456,71 @@ func (d *Driver) storeDisk(key string, entry *cacheEntry, req Request, res *Resu
 	}
 }
 
-// compileModule runs the front end and the EFSM compiler for one
-// module, attributing any failure to its pipeline phase.
-func compileModule(path, src, module string, opts core.Options) (string, *core.Design, []Diagnostic, error) {
-	prog, err := core.Parse(path, src, opts)
-	if err != nil {
-		return module, nil, toDiags(path, module, PhaseParse, err), err
+// compileEntry runs the phase graph for one design and populates its
+// cache entry: the compiled design (or structured failure), per-phase
+// results, and any pre-rendered artifacts (so requests for the same
+// targets never re-emit).
+func (d *Driver) compileEntry(entry *cacheEntry, req Request, src string) {
+	pres := d.runner().Run(pipeline.Request{
+		Path:      req.Path,
+		Source:    src,
+		Module:    req.Module,
+		Opts:      req.Options,
+		Emits:     emitPhases(req.Targets),
+		GoPackage: req.GoPackage,
+	})
+	entry.module = pres.Module
+	entry.phases = pres.Phases
+	if pres.Err != nil {
+		entry.err = pres.Err
+		entry.diags = toDiags(req.Path, pres.Module, diagPhase(pres.ErrPhase), pres.Err)
+		return
 	}
-	if module == "" {
-		mods := prog.Modules()
-		if len(mods) == 0 {
-			err := fmt.Errorf("no modules in %s", path)
-			return "", nil, toDiags(path, "", PhaseLower, err), err
-		}
-		module = mods[len(mods)-1]
+	entry.design = pres.Design
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if entry.artifacts == nil {
+		entry.artifacts = make(map[string]artifactResult)
 	}
+	for ph, text := range pres.Artifacts {
+		entry.artifacts[artifactKey(Target(pipeline.TargetName(ph)), req.GoPackage)] = artifactResult{text: text}
+	}
+	for ph, err := range pres.EmitErrs {
+		entry.artifacts[artifactKey(Target(pipeline.TargetName(ph)), req.GoPackage)] = artifactResult{err: err}
+	}
+}
 
-	// Drive lowering and EFSM construction directly (rather than
-	// through Program.Compile) so failures carry their phase and each
-	// request appends to its own diagnostic list.
-	var diags source.DiagList
-	low, err := lower.Lower(prog.Info, module, opts.Policy, &diags)
-	if err != nil {
-		return module, nil, toDiags(path, module, PhaseLower, err), err
+// emitPhases maps the request's targets onto the pipeline's emit
+// phases, in request order.
+func emitPhases(targets []Target) []pipeline.Phase {
+	out := make([]pipeline.Phase, 0, len(targets))
+	for _, t := range targets {
+		if ph, ok := pipeline.EmitPhase(string(t)); ok {
+			out = append(out, ph)
+		}
 	}
-	machine, err := compile.CompileWith(low, opts.Compile)
-	if err != nil {
-		return module, nil, toDiags(path, module, PhaseCompile, err), err
+	return out
+}
+
+// diagPhase maps a pipeline phase onto the coarser diagnostic phases
+// the driver has always reported (sem failures surface as parse, both
+// machine phases as compile).
+func diagPhase(ph pipeline.Phase) Phase {
+	switch ph {
+	case pipeline.PhaseParse, pipeline.PhaseSem:
+		return PhaseParse
+	case pipeline.PhaseLower:
+		return PhaseLower
+	case pipeline.PhaseEFSM, pipeline.PhaseEFSMMin:
+		return PhaseCompile
 	}
-	if opts.Minimize {
-		machine, _ = efsm.Minimize(machine)
-	}
-	return module, &core.Design{Program: prog, Lowered: low, Machine: machine}, nil, nil
+	return PhaseEmit
+}
+
+// designPhases is the Phases record for a request served whole from
+// the design-level cache.
+func designPhases(st pipeline.Status, key string) []pipeline.PhaseResult {
+	return []pipeline.PhaseResult{{Phase: pipeline.PhaseDesign, Status: st, Key: key}}
 }
 
 // toDiags converts an error into structured diagnostics, splitting a
@@ -475,10 +547,29 @@ func toDiags(file, module string, phase Phase, err error) []Diagnostic {
 	}}
 }
 
+// ExpandError is the structured failure ExpandModules returns: the
+// same file/phase diagnostics a batch build would report, so callers
+// (and `eclc -all`) attribute an unexpandable file consistently
+// instead of printing a bare error string.
+type ExpandError struct {
+	Diags []Diagnostic
+}
+
+// Error joins the diagnostics, one per line.
+func (e *ExpandError) Error() string {
+	lines := make([]string, 0, len(e.Diags))
+	for _, d := range e.Diags {
+		lines = append(lines, d.String())
+	}
+	return strings.Join(lines, "\n")
+}
+
 // ExpandModules returns one request per module declared in the
 // request's file, in source order, so a batch build can compile every
 // module concurrently. The per-module requests inherit the targets and
-// options of the seed request.
+// options of the seed request. Failures (unreadable file, parse
+// errors, an empty file) are reported as an *ExpandError carrying
+// file/phase diagnostics.
 //
 // Each per-module build re-runs the front end over the shared source:
 // lowering mutates the analysis tables (sem.Info), so one parsed
@@ -488,17 +579,23 @@ func ExpandModules(req Request) ([]Request, error) {
 	if src == "" {
 		data, err := os.ReadFile(req.Path)
 		if err != nil {
-			return nil, err
+			return nil, &ExpandError{Diags: []Diagnostic{{
+				File: req.Path, Phase: PhaseRead,
+				Severity: source.Error, Message: err.Error(),
+			}}}
 		}
 		src = string(data)
 	}
 	prog, err := core.Parse(req.Path, src, req.Options)
 	if err != nil {
-		return nil, err
+		return nil, &ExpandError{Diags: toDiags(req.Path, "", PhaseParse, err)}
 	}
 	mods := prog.Modules()
 	if len(mods) == 0 {
-		return nil, fmt.Errorf("no modules in %s", req.Path)
+		return nil, &ExpandError{Diags: []Diagnostic{{
+			File: req.Path, Phase: PhaseParse,
+			Severity: source.Error, Message: fmt.Sprintf("no modules in %s", req.Path),
+		}}}
 	}
 	out := make([]Request, 0, len(mods))
 	for _, m := range mods {
@@ -539,6 +636,7 @@ type cacheEntry struct {
 	design *core.Design
 	diags  []Diagnostic
 	err    error
+	phases []pipeline.PhaseResult // pipeline walk that built this entry
 
 	mu         sync.Mutex
 	diskModule string // resolved module name from a disk hit

@@ -1,0 +1,219 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/pipeline"
+)
+
+// incSource is the incremental fixture: the inner while loop is a pure
+// data loop (extracted as a data function), and factor appears only in
+// its body, so varying factor is a data-function-only edit.
+func incSource(factor int) string {
+	return fmt.Sprintf(`
+module incworker (input pure a, input pure b, input int req,
+                  output int done, output pure pulse)
+{
+    int acc;
+    int n;
+    acc = 0;
+    par {
+        while (1) {
+            await (a);
+            emit (pulse);
+        }
+        while (1) {
+            await (b);
+            emit (pulse);
+        }
+        while (1) {
+            await (req);
+            n = 0;
+            while (n < 6) {
+                acc = acc + %d;
+                n = n + 1;
+            }
+            emit_v (done, acc);
+        }
+    }
+}
+`, factor)
+}
+
+func phaseStatus(t *testing.T, res *Result, ph pipeline.Phase) pipeline.Status {
+	t.Helper()
+	for _, pr := range res.Phases {
+		if pr.Phase == ph {
+			return pr.Status
+		}
+	}
+	t.Fatalf("phase %s not in result (phases: %+v)", ph, res.Phases)
+	return ""
+}
+
+// TestIncrementalDataEditReplaysEFSM is the PR's acceptance criterion
+// at the driver level: over a warm store, editing only a data-function
+// body re-runs the front end and emission but replays the cached EFSM
+// phase, asserted on Result.Phases and CacheStats().Phases — and the
+// artifacts are byte-identical to an uncached compile of the edited
+// source.
+func TestIncrementalDataEditReplaysEFSM(t *testing.T) {
+	dir := t.TempDir()
+	targets := []Target{TargetC, TargetEsterel, TargetStats}
+
+	cold := diskDriver(t, dir).BuildOne(Request{
+		Path: "inc.ecl", Source: incSource(3), Targets: targets,
+	})
+	if cold.Failed() {
+		t.Fatal(cold.Err)
+	}
+	if st := phaseStatus(t, &cold, pipeline.PhaseEFSM); st != pipeline.StatusRebuilt {
+		t.Fatalf("cold efsm = %s, want rebuilt", st)
+	}
+
+	// New process, data-edited source: the design key misses both
+	// design tiers, but the efsm phase replays from the v2 store.
+	warm := diskDriver(t, dir)
+	res := warm.BuildOne(Request{Path: "inc.ecl", Source: incSource(5), Targets: targets})
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if res.Cached || res.DiskCached {
+		t.Fatalf("edited build reported design-cached (cached=%t disk=%t)", res.Cached, res.DiskCached)
+	}
+	if st := phaseStatus(t, &res, pipeline.PhaseEFSM); st != pipeline.StatusDiskHit {
+		t.Errorf("edited efsm = %s, want disk-hit", st)
+	}
+	for _, ph := range []pipeline.Phase{pipeline.PhaseParse, pipeline.PhaseSem, pipeline.PhaseLower, pipeline.PhaseEmitC} {
+		if st := phaseStatus(t, &res, ph); st != pipeline.StatusRebuilt {
+			t.Errorf("edited %s = %s, want rebuilt", ph, st)
+		}
+	}
+	cs := warm.CacheStats()
+	if got := cs.Phases[pipeline.PhaseEFSM]; got.DiskHits != 1 || got.Rebuilds != 0 {
+		t.Errorf("PhaseStats[efsm] = %+v, want exactly 1 disk hit and no rebuilds", got)
+	}
+	if got := cs.Phases[pipeline.PhaseEmitC]; got.Rebuilds != 1 {
+		t.Errorf("PhaseStats[emit-c] = %+v, want 1 rebuild", got)
+	}
+
+	// Replayed-machine artifacts must match a fully uncached compile
+	// of the edited source.
+	pure := (&Driver{NoCache: true}).BuildOne(Request{Path: "inc.ecl", Source: incSource(5), Targets: targets})
+	if pure.Failed() {
+		t.Fatal(pure.Err)
+	}
+	for _, target := range targets {
+		if res.Artifacts[target] != pure.Artifacts[target] {
+			t.Errorf("%s artifact from replayed EFSM differs from uncached compile", target)
+		}
+	}
+	if res.Stats == nil || pure.Stats == nil || res.Stats.EFSM.States != pure.Stats.EFSM.States {
+		t.Errorf("stats differ: %+v vs %+v", res.Stats, pure.Stats)
+	}
+}
+
+// TestDesignCacheReportsPseudoPhase: requests served whole from the
+// design tiers carry the "design" pseudo-phase instead of a fake
+// per-phase table.
+func TestDesignCacheReportsPseudoPhase(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Path: "inc.ecl", Source: incSource(3), Targets: []Target{TargetC}}
+	if res := diskDriver(t, dir).BuildOne(req); res.Failed() {
+		t.Fatal(res.Err)
+	}
+	warm := diskDriver(t, dir)
+	res := warm.BuildOne(req)
+	if !res.DiskCached {
+		t.Fatal("expected v1 disk replay")
+	}
+	if len(res.Phases) != 1 || res.Phases[0].Phase != pipeline.PhaseDesign ||
+		res.Phases[0].Status != pipeline.StatusDiskHit {
+		t.Errorf("Phases = %+v, want one design/disk-hit entry", res.Phases)
+	}
+	again := warm.BuildOne(req)
+	if len(again.Phases) != 1 || again.Phases[0].Status != pipeline.StatusMemHit {
+		t.Errorf("memory replay Phases = %+v, want one design/mem-hit entry", again.Phases)
+	}
+}
+
+// TestExpandModulesStructuredDiagnostics: a malformed file mixed into
+// a batch reports file/phase diagnostics through ExpandModules instead
+// of a bare error.
+func TestExpandModulesStructuredDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ecl")
+	if err := os.WriteFile(bad, []byte("module broken ( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ExpandModules(Request{Path: bad})
+	if err == nil {
+		t.Fatal("want error for malformed file")
+	}
+	var xe *ExpandError
+	if !errors.As(err, &xe) {
+		t.Fatalf("error is %T, want *ExpandError", err)
+	}
+	if len(xe.Diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	d := xe.Diags[0]
+	if d.File != bad || d.Phase != PhaseParse {
+		t.Errorf("diag = %+v, want file=%s phase=parse", d, bad)
+	}
+	if !strings.HasPrefix(d.Pos, bad+":") {
+		t.Errorf("diag position %q does not name the file", d.Pos)
+	}
+	if !strings.Contains(err.Error(), "[parse]") {
+		t.Errorf("error text %q lacks the phase tag", err.Error())
+	}
+
+	// Unreadable file: read-phase diagnostic.
+	_, err = ExpandModules(Request{Path: filepath.Join(dir, "missing.ecl")})
+	if !errors.As(err, &xe) || xe.Diags[0].Phase != PhaseRead {
+		t.Errorf("missing file error = %v, want read-phase ExpandError", err)
+	}
+
+	// Empty (module-less) file: parse-phase diagnostic.
+	empty := filepath.Join(dir, "empty.ecl")
+	if err := os.WriteFile(empty, []byte("typedef int t;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ExpandModules(Request{Path: empty})
+	if !errors.As(err, &xe) || xe.Diags[0].Phase != PhaseParse {
+		t.Errorf("empty file error = %v, want parse-phase ExpandError", err)
+	}
+}
+
+// TestIncrementalKeepsV1Warm: the pipeline's v2 writes must not break
+// the v1 whole-design fast path — an unchanged rebuild in a new
+// process is still a pure v1 artifact replay that runs no phase.
+func TestIncrementalKeepsV1Warm(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Path: "inc.ecl", Source: incSource(3), Targets: []Target{TargetC, TargetStats}}
+	if res := diskDriver(t, dir).BuildOne(req); res.Failed() {
+		t.Fatal(res.Err)
+	}
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{Disk: store}
+	res := d.BuildOne(req)
+	if !res.DiskCached {
+		t.Fatal("unchanged rebuild not served by v1")
+	}
+	cs := d.CacheStats()
+	if len(cs.Phases) != 0 {
+		t.Errorf("v1 replay walked pipeline phases: %+v", cs.Phases)
+	}
+	if st := store.Stats(); st.PhaseHits+st.PhaseMisses != 0 {
+		t.Errorf("v1 replay touched the v2 subtree: %+v", st)
+	}
+}

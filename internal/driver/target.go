@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
 )
 
 // Target names one artifact the driver can emit for a compiled module.
@@ -79,45 +80,16 @@ func (t Target) Filename(module string) string {
 	return ""
 }
 
-// emit renders one artifact from a compiled design.
+// emit renders one artifact from a compiled design (the lazy path for
+// targets requested after the design's pipeline walk already ran).
 func emit(d *core.Design, t Target, goPkg string) (string, error) {
-	switch t {
-	case TargetEsterel:
-		return d.EsterelText(), nil
-	case TargetC:
-		return d.CText(), nil
-	case TargetGo:
-		if goPkg == "" {
-			goPkg = d.Machine.Name
-		}
-		return d.GoText(goPkg)
-	case TargetGlue:
-		return d.GlueText(), nil
-	case TargetDot:
-		return d.DotText(), nil
-	case TargetVerilog:
-		return d.VerilogText()
-	case TargetVHDL:
-		return d.VHDLText()
-	case TargetStats:
-		return FormatStats(d), nil
+	ph, ok := pipeline.EmitPhase(string(t))
+	if !ok {
+		return "", fmt.Errorf("unknown target %q", t)
 	}
-	return "", fmt.Errorf("unknown target %q", t)
+	return pipeline.Emit(d, ph, goPkg)
 }
 
 // FormatStats renders the design's size metrics in eclc's console
 // layout.
-func FormatStats(d *core.Design) string {
-	st := d.Stats()
-	var b strings.Builder
-	fmt.Fprintf(&b, "module %s (policy %s):\n", d.Machine.Name, d.Lowered.Policy)
-	fmt.Fprintf(&b, "  kernel nodes:   %d (pauses %d, emits %d, pars %d, aborts %d)\n",
-		st.KernelStats.Nodes, st.KernelStats.Pauses, st.KernelStats.Emits,
-		st.KernelStats.Pars, st.KernelStats.Aborts)
-	fmt.Fprintf(&b, "  data functions: %d\n", st.DataFuncs)
-	fmt.Fprintf(&b, "  EFSM:           %d states, %d transitions, %d tree nodes\n",
-		st.EFSM.States, st.EFSM.Leaves, st.EFSM.TreeNodes)
-	fmt.Fprintf(&b, "  image estimate: %d code bytes, %d data bytes (MIPS R3000)\n",
-		st.Image.CodeBytes, st.Image.DataBytes)
-	return b.String()
-}
+func FormatStats(d *core.Design) string { return pipeline.FormatStats(d) }

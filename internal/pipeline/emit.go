@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Emit renders one artifact phase from a compiled design.
+func Emit(d *core.Design, phase Phase, goPkg string) (string, error) {
+	switch phase {
+	case PhaseEmitEsterel:
+		return d.EsterelText(), nil
+	case PhaseEmitC:
+		return d.CText(), nil
+	case PhaseEmitGo:
+		if goPkg == "" {
+			goPkg = d.Machine.Name
+		}
+		return d.GoText(goPkg)
+	case PhaseEmitGlue:
+		return d.GlueText(), nil
+	case PhaseEmitDot:
+		return d.DotText(), nil
+	case PhaseEmitVerilog:
+		return d.VerilogText()
+	case PhaseEmitVHDL:
+		return d.VHDLText()
+	case PhaseEmitStats:
+		return FormatStats(d), nil
+	}
+	return "", fmt.Errorf("unknown emit phase %q", phase)
+}
+
+// FormatStats renders the design's size metrics in eclc's console
+// layout.
+func FormatStats(d *core.Design) string {
+	st := d.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (policy %s):\n", d.Machine.Name, d.Lowered.Policy)
+	fmt.Fprintf(&b, "  kernel nodes:   %d (pauses %d, emits %d, pars %d, aborts %d)\n",
+		st.KernelStats.Nodes, st.KernelStats.Pauses, st.KernelStats.Emits,
+		st.KernelStats.Pars, st.KernelStats.Aborts)
+	fmt.Fprintf(&b, "  data functions: %d\n", st.DataFuncs)
+	fmt.Fprintf(&b, "  EFSM:           %d states, %d transitions, %d tree nodes\n",
+		st.EFSM.States, st.EFSM.Leaves, st.EFSM.TreeNodes)
+	fmt.Fprintf(&b, "  image estimate: %d code bytes, %d data bytes (MIPS R3000)\n",
+		st.Image.CodeBytes, st.Image.DataBytes)
+	return b.String()
+}

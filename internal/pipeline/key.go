@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/lower"
+)
+
+// keyGeneration versions the whole phase-key scheme; bumping it (or
+// snapCodecVersion, which every key folds in) turns all v2 entries
+// into misses after an incompatible change.
+const keyGeneration = 1
+
+// fph starts a phase-key hash, salted with the phase name and the key
+// and codec generations.
+func fph(phase Phase) hash.Hash {
+	h := sha256.New()
+	fmt.Fprintf(h, "ecl-phase:%s:g%d:c%d", phase, keyGeneration, snapCodecVersion)
+	return h
+}
+
+func hpart(h hash.Hash, part string) {
+	fmt.Fprintf(h, "\x00%d:", len(part))
+	h.Write([]byte(part))
+}
+
+func hsum(h hash.Hash) string { return hex.EncodeToString(h.Sum(nil)) }
+
+func hmap(h hash.Hash, tag string, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(h, "\x00%s:%d", tag, len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(h, "\x00%s\x01%s", k, m[k])
+	}
+}
+
+// KeyParse fingerprints the parse phase: the source bytes, the path
+// (diagnostics and positions carry it), and the preprocessor
+// configuration.
+func KeyParse(path, src string, opts core.Options) string {
+	h := fph(PhaseParse)
+	hpart(h, path)
+	hpart(h, src)
+	hmap(h, "def", opts.Defines)
+	hmap(h, "inc", opts.Includes)
+	return hsum(h)
+}
+
+// KeySem chains from parse: semantic analysis has no options of its
+// own.
+func KeySem(parseKey string) string {
+	h := fph(PhaseSem)
+	hpart(h, parseKey)
+	return hsum(h)
+}
+
+// KeyLower chains from sem plus the selected module and splitter
+// policy.
+func KeyLower(semKey, module string, pol lower.Policy) string {
+	h := fph(PhaseLower)
+	hpart(h, semKey)
+	hpart(h, module)
+	fmt.Fprintf(h, "\x00pol:%d", pol)
+	return hsum(h)
+}
+
+// KeyEFSM is the pipeline's cut point: it derives from the lowered
+// module's *structural* fingerprint — not from the lower phase key —
+// so any edit that leaves the reactive structure intact (in
+// particular, a data-function body edit) keeps the EFSM key stable
+// and replays the cached machine.
+func KeyEFSM(structFP string, opts compile.Options) string {
+	h := fph(PhaseEFSM)
+	hpart(h, structFP)
+	fmt.Fprintf(h, "\x00cmp:%d:%d:%d", opts.MaxStates, opts.MaxRunsPerState, opts.MaxDecisionsPerRun)
+	return hsum(h)
+}
+
+// KeyEFSMMin chains from the unminimized machine's key.
+func KeyEFSMMin(efsmKey string) string {
+	h := fph(PhaseEFSMMin)
+	hpart(h, efsmKey)
+	return hsum(h)
+}
+
+// KeyEmit fingerprints one emission: the machine it renders (by phase
+// key), the data-function bodies the back ends inline (by data
+// fingerprint), and the requested Go package name for emit-go.
+func KeyEmit(phase Phase, machineKey, dataFP, goPkg string) string {
+	h := fph(phase)
+	hpart(h, machineKey)
+	hpart(h, dataFP)
+	if phase == PhaseEmitGo {
+		hpart(h, goPkg)
+	}
+	return hsum(h)
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+
+// EnvFingerprint hashes the translation unit's non-module environment:
+// typedefs, structs, enums, constants, and C function bodies, as
+// canonically printed source. EFSM synthesis can read any of these
+// through inline data expressions (constant folding evaluates helper
+// calls and enum values), so they are part of the structural
+// fingerprint even though the kernel tree does not spell them out.
+func EnvFingerprint(file *ast.File) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ecl-env:c%d", snapCodecVersion)
+	for _, d := range file.Decls {
+		if _, isMod := d.(*ast.ModuleDecl); isMod {
+			continue
+		}
+		hpart(h, ast.String(d))
+	}
+	return hsum(h)
+}
+
+// Fingerprints computes the two content fingerprints of a lowered
+// module that split the phase graph:
+//
+//   - structural covers everything EFSM synthesis reads — the
+//     environment (EnvFingerprint), the signal/variable interface, and
+//     the kernel statement tree with its inline expressions — but NOT
+//     data-function bodies, which the symbolic compiler treats as
+//     opaque calls;
+//   - data covers the data-function bodies, which only the back ends
+//     read.
+//
+// Together they cover the full lowering result: any edit moves at
+// least one of them, and a data-only edit moves only the second.
+func Fingerprints(file *ast.File, low *lower.Result) (structural, data string, err error) {
+	structural, data, _, err = fingerprints(file, low)
+	return structural, data, err
+}
+
+// fingerprints additionally returns the encoded full snapshot (the
+// lower phase's cache blob), so Run serializes the module once instead
+// of re-walking it through EncodeLowered.
+func fingerprints(file *ast.File, low *lower.Result) (structural, data string, encoded []byte, err error) {
+	structSnap, err := buildLowSnap(low, false)
+	if err != nil {
+		return "", "", nil, err
+	}
+	structBytes, err := json.Marshal(structSnap)
+	if err != nil {
+		return "", "", nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ecl-struct:c%d", snapCodecVersion)
+	hpart(h, EnvFingerprint(file))
+	hpart(h, string(structBytes))
+	structural = hsum(h)
+
+	fullSnap, err := buildLowSnap(low, true)
+	if err != nil {
+		return "", "", nil, err
+	}
+	encoded, err = json.Marshal(fullSnap)
+	if err != nil {
+		return "", "", nil, err
+	}
+	hd := sha256.New()
+	fmt.Fprintf(hd, "ecl-data:c%d", snapCodecVersion)
+	for _, f := range fullSnap.Funcs {
+		hpart(hd, f.Name)
+		hpart(hd, f.Label)
+		hpart(hd, f.Body)
+	}
+	data = hsum(hd)
+	return structural, data, encoded, nil
+}

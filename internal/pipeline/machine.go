@@ -1,0 +1,472 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/efsm"
+	"repro/internal/kernel"
+	"repro/internal/lower"
+)
+
+// ---------------------------------------------------------------------------
+// EFSM snapshot
+//
+// The machine snapshot is the payload that makes first-dirty-phase
+// rebuilds pay off: EFSM synthesis explores every guard combination of
+// every reachable state (exponential in the worst case), while
+// decoding a snapshot is linear in the machine's size. The decision
+// trees serialize with every kernel reference expressed as a stable
+// address into the lowered module — signals and data functions by
+// name, data expressions by (statement id, operand slot) — so a
+// snapshot decodes against any *freshly lowered* module whose
+// structural fingerprint matches the one it was built from. That is
+// exactly the efsm phase key's guarantee: a data-function body edit
+// keeps the fingerprint (the EFSM never looks inside data functions),
+// so the edited design replays the cached machine and only re-runs
+// the front end and emission.
+
+// Expression operand slots within a kernel statement.
+const (
+	slotMain = iota // IfData.Cond, Eval.X, Emit.Value
+	slotLHS         // Assign.LHS
+	slotRHS         // Assign.RHS
+)
+
+type machineSnap struct {
+	V       int         `json:"v"`
+	Module  string      `json:"module"`
+	FP      string      `json:"fp"` // structural fingerprint it binds to
+	Initial int         `json:"initial"`
+	States  []stateSnap `json:"states"`
+}
+
+type stateSnap struct {
+	Key  string    `json:"key"`
+	Root *nodeSnap `json:"root,omitempty"`
+}
+
+type nodeSnap struct {
+	K string `json:"k"` // a(ction), i(nput), d(ata), l(eaf)
+
+	Act  *actSnap  `json:"act,omitempty"`
+	Next *nodeSnap `json:"next,omitempty"`
+
+	Sig  string    `json:"sig,omitempty"`
+	Expr *exprRef  `json:"expr,omitempty"`
+	Then *nodeSnap `json:"then,omitempty"`
+	Else *nodeSnap `json:"else,omitempty"`
+
+	To   int  `json:"to,omitempty"`   // successor state index; -1 = end
+	Term bool `json:"term,omitempty"` // program terminates
+}
+
+type actSnap struct {
+	Kind int      `json:"kind"`
+	Sig  string   `json:"sig,omitempty"`
+	Val  *exprRef `json:"val,omitempty"`
+	LHS  *exprRef `json:"lhs,omitempty"`
+	RHS  *exprRef `json:"rhs,omitempty"`
+	X    *exprRef `json:"x,omitempty"`
+	F    string   `json:"f,omitempty"`
+}
+
+// exprRef addresses one data expression inside the lowered module: the
+// owning kernel statement's id and the operand slot, plus the printed
+// source as a decode-time integrity check.
+type exprRef struct {
+	Stmt int    `json:"s"`
+	Slot int    `json:"p"`
+	Text string `json:"t"`
+}
+
+// exprIndex maps every data expression of a module to its address.
+type exprIdent struct {
+	b *kernel.Binding
+	e ast.Expr
+}
+
+type exprAddr struct {
+	stmt, slot int
+}
+
+func indexExprs(mod *kernel.Module) map[exprIdent]exprAddr {
+	idx := make(map[exprIdent]exprAddr)
+	put := func(x kernel.Expr, id, slot int) {
+		key := exprIdent{x.B, x.E}
+		if _, dup := idx[key]; !dup {
+			idx[key] = exprAddr{id, slot}
+		}
+	}
+	for id := 0; id < mod.NumNodes(); id++ {
+		switch s := mod.Node(id).(type) {
+		case *kernel.Emit:
+			if s.Value != nil {
+				put(*s.Value, id, slotMain)
+			}
+		case *kernel.Assign:
+			put(s.LHS, id, slotLHS)
+			put(s.RHS, id, slotRHS)
+		case *kernel.Eval:
+			put(s.X, id, slotMain)
+		case *kernel.IfData:
+			put(s.Cond, id, slotMain)
+		}
+	}
+	return idx
+}
+
+// exprAt resolves an address back to the expression in a (freshly
+// lowered) module, verifying the printed text still matches.
+func exprAt(mod *kernel.Module, ref *exprRef) (kernel.Expr, error) {
+	if ref == nil {
+		return kernel.Expr{}, fmt.Errorf("missing expression reference")
+	}
+	if ref.Stmt < 0 || ref.Stmt >= mod.NumNodes() {
+		return kernel.Expr{}, fmt.Errorf("expression reference to statement %d out of range", ref.Stmt)
+	}
+	var x kernel.Expr
+	switch s := mod.Node(ref.Stmt).(type) {
+	case *kernel.Emit:
+		if ref.Slot != slotMain || s.Value == nil {
+			return kernel.Expr{}, fmt.Errorf("statement %d: emit has no value slot %d", ref.Stmt, ref.Slot)
+		}
+		x = *s.Value
+	case *kernel.Assign:
+		switch ref.Slot {
+		case slotLHS:
+			x = s.LHS
+		case slotRHS:
+			x = s.RHS
+		default:
+			return kernel.Expr{}, fmt.Errorf("statement %d: assign has no slot %d", ref.Stmt, ref.Slot)
+		}
+	case *kernel.Eval:
+		if ref.Slot != slotMain {
+			return kernel.Expr{}, fmt.Errorf("statement %d: eval has no slot %d", ref.Stmt, ref.Slot)
+		}
+		x = s.X
+	case *kernel.IfData:
+		if ref.Slot != slotMain {
+			return kernel.Expr{}, fmt.Errorf("statement %d: ifdata has no slot %d", ref.Stmt, ref.Slot)
+		}
+		x = s.Cond
+	default:
+		return kernel.Expr{}, fmt.Errorf("statement %d (%T) carries no expressions", ref.Stmt, s)
+	}
+	if got := ast.ExprString(x.E); got != ref.Text {
+		return kernel.Expr{}, fmt.Errorf("statement %d slot %d: expression drifted (%q != %q)", ref.Stmt, ref.Slot, got, ref.Text)
+	}
+	return x, nil
+}
+
+// EncodeMachine serializes an EFSM against its lowered module. fp is
+// the module's structural fingerprint; DecodeMachine refuses to bind
+// the snapshot to a module with a different one.
+func EncodeMachine(m *efsm.Machine, low *lower.Result, fp string) ([]byte, error) {
+	enc := &machineEncoder{
+		idx:   indexExprs(low.Module),
+		funcs: make(map[*kernel.DataFunc]string),
+		sigs:  make(map[*kernel.Signal]string),
+		state: make(map[*efsm.State]int),
+	}
+	for _, f := range low.Module.Funcs {
+		enc.funcs[f] = f.Name
+	}
+	for _, s := range low.Module.Signals() {
+		enc.sigs[s] = s.Name
+	}
+	snap := &machineSnap{V: snapCodecVersion, Module: m.Name, FP: fp}
+	for i, s := range m.States {
+		if s.ID != i {
+			return nil, fmt.Errorf("pipeline: state ids not dense (state %d has id %d)", i, s.ID)
+		}
+		enc.state[s] = i
+	}
+	for _, s := range m.States {
+		root, err := enc.node(s.Root)
+		if err != nil {
+			return nil, err
+		}
+		snap.States = append(snap.States, stateSnap{Key: s.Key, Root: root})
+	}
+	init, ok := enc.state[m.Initial]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: initial state not in state list")
+	}
+	snap.Initial = init
+	return json.Marshal(snap)
+}
+
+type machineEncoder struct {
+	idx   map[exprIdent]exprAddr
+	funcs map[*kernel.DataFunc]string
+	sigs  map[*kernel.Signal]string
+	state map[*efsm.State]int
+}
+
+func (e *machineEncoder) expr(x kernel.Expr) (*exprRef, error) {
+	addr, ok := e.idx[exprIdent{x.B, x.E}]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: expression %q not addressable in module", x)
+	}
+	return &exprRef{Stmt: addr.stmt, Slot: addr.slot, Text: ast.ExprString(x.E)}, nil
+}
+
+func (e *machineEncoder) node(n efsm.Node) (*nodeSnap, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, nil
+	case *efsm.ActNode:
+		act, err := e.action(n.Act)
+		if err != nil {
+			return nil, err
+		}
+		next, err := e.node(n.Next)
+		if err != nil {
+			return nil, err
+		}
+		return &nodeSnap{K: "a", Act: act, Next: next}, nil
+	case *efsm.InputBranch:
+		name, ok := e.sigs[n.Sig]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: input branch on undeclared signal %q", n.Sig.Name)
+		}
+		then, err := e.node(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := e.node(n.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &nodeSnap{K: "i", Sig: name, Then: then, Else: els}, nil
+	case *efsm.DataBranch:
+		ref, err := e.expr(n.Expr)
+		if err != nil {
+			return nil, err
+		}
+		then, err := e.node(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := e.node(n.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &nodeSnap{K: "d", Expr: ref, Then: then, Else: els}, nil
+	case *efsm.Leaf:
+		to := -1
+		if n.To != nil {
+			idx, ok := e.state[n.To]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: leaf targets unknown state")
+			}
+			to = idx
+		}
+		return &nodeSnap{K: "l", To: to, Term: n.Terminal}, nil
+	}
+	return nil, fmt.Errorf("pipeline: unknown EFSM node %T", n)
+}
+
+func (e *machineEncoder) action(a efsm.Action) (*actSnap, error) {
+	out := &actSnap{Kind: int(a.Kind)}
+	var err error
+	switch a.Kind {
+	case efsm.ActEmit:
+		name, ok := e.sigs[a.Sig]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: emit of undeclared signal %q", a.Sig.Name)
+		}
+		out.Sig = name
+		if a.Value != nil {
+			if out.Val, err = e.expr(*a.Value); err != nil {
+				return nil, err
+			}
+		}
+	case efsm.ActAssign:
+		if out.LHS, err = e.expr(a.LHS); err != nil {
+			return nil, err
+		}
+		if out.RHS, err = e.expr(a.RHS); err != nil {
+			return nil, err
+		}
+	case efsm.ActEval:
+		if out.X, err = e.expr(a.X); err != nil {
+			return nil, err
+		}
+	case efsm.ActCall:
+		name, ok := e.funcs[a.F]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: call of undeclared data function %q", a.F.Name)
+		}
+		out.F = name
+	default:
+		return nil, fmt.Errorf("pipeline: unknown action kind %d", a.Kind)
+	}
+	return out, nil
+}
+
+// DecodeMachine rebinds a machine snapshot to a freshly lowered
+// module. wantFP must be the module's structural fingerprint; a
+// snapshot recorded against a different structure is refused (the
+// caller treats any error as a cache miss).
+func DecodeMachine(data []byte, low *lower.Result, wantFP string) (*efsm.Machine, error) {
+	var snap machineSnap
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("pipeline: machine snapshot: %w", err)
+	}
+	if snap.V != snapCodecVersion {
+		return nil, fmt.Errorf("pipeline: machine snapshot codec v%d (want v%d)", snap.V, snapCodecVersion)
+	}
+	if snap.Module != low.Module.Name {
+		return nil, fmt.Errorf("pipeline: machine snapshot for module %q, want %q", snap.Module, low.Module.Name)
+	}
+	if wantFP != "" && snap.FP != wantFP {
+		return nil, fmt.Errorf("pipeline: machine snapshot fingerprint mismatch")
+	}
+	if snap.Initial < 0 || snap.Initial >= len(snap.States) {
+		return nil, fmt.Errorf("pipeline: machine snapshot initial state out of range")
+	}
+	dec := &machineDecoder{
+		low:   low,
+		sigs:  make(map[string]*kernel.Signal),
+		funcs: make(map[string]*kernel.DataFunc),
+	}
+	for _, s := range low.Module.Signals() {
+		dec.sigs[s.Name] = s
+	}
+	for _, f := range low.Module.Funcs {
+		dec.funcs[f.Name] = f
+	}
+	m := &efsm.Machine{
+		Name:    low.Module.Name,
+		Mod:     low.Module,
+		Info:    low.Info,
+		Inputs:  low.Module.Inputs,
+		Outputs: low.Module.Outputs,
+	}
+	for i, ss := range snap.States {
+		m.States = append(m.States, &efsm.State{ID: i, Key: ss.Key})
+	}
+	dec.states = m.States
+	for i, ss := range snap.States {
+		root, err := dec.node(ss.Root)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: state %d: %w", i, err)
+		}
+		m.States[i].Root = root
+	}
+	m.Initial = m.States[snap.Initial]
+	return m, nil
+}
+
+type machineDecoder struct {
+	low    *lower.Result
+	sigs   map[string]*kernel.Signal
+	funcs  map[string]*kernel.DataFunc
+	states []*efsm.State
+}
+
+func (d *machineDecoder) node(snap *nodeSnap) (efsm.Node, error) {
+	if snap == nil {
+		return nil, nil
+	}
+	switch snap.K {
+	case "a":
+		if snap.Act == nil {
+			return nil, fmt.Errorf("action node without action")
+		}
+		act, err := d.action(snap.Act)
+		if err != nil {
+			return nil, err
+		}
+		next, err := d.node(snap.Next)
+		if err != nil {
+			return nil, err
+		}
+		return &efsm.ActNode{Act: act, Next: next}, nil
+	case "i":
+		sig, ok := d.sigs[snap.Sig]
+		if !ok {
+			return nil, fmt.Errorf("input branch on unknown signal %q", snap.Sig)
+		}
+		then, err := d.node(snap.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := d.node(snap.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &efsm.InputBranch{Sig: sig, Then: then, Else: els}, nil
+	case "d":
+		expr, err := exprAt(d.low.Module, snap.Expr)
+		if err != nil {
+			return nil, err
+		}
+		then, err := d.node(snap.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := d.node(snap.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &efsm.DataBranch{Expr: expr, Then: then, Else: els}, nil
+	case "l":
+		leaf := &efsm.Leaf{Terminal: snap.Term}
+		if snap.To >= 0 {
+			if snap.To >= len(d.states) {
+				return nil, fmt.Errorf("leaf targets state %d out of range", snap.To)
+			}
+			leaf.To = d.states[snap.To]
+		} else if snap.To != -1 {
+			return nil, fmt.Errorf("leaf targets state %d", snap.To)
+		}
+		return leaf, nil
+	}
+	return nil, fmt.Errorf("unknown node kind %q", snap.K)
+}
+
+func (d *machineDecoder) action(snap *actSnap) (efsm.Action, error) {
+	a := efsm.Action{Kind: efsm.ActionKind(snap.Kind)}
+	switch a.Kind {
+	case efsm.ActEmit:
+		sig, ok := d.sigs[snap.Sig]
+		if !ok {
+			return a, fmt.Errorf("emit of unknown signal %q", snap.Sig)
+		}
+		a.Sig = sig
+		if snap.Val != nil {
+			v, err := exprAt(d.low.Module, snap.Val)
+			if err != nil {
+				return a, err
+			}
+			a.Value = &v
+		}
+	case efsm.ActAssign:
+		var err error
+		if a.LHS, err = exprAt(d.low.Module, snap.LHS); err != nil {
+			return a, err
+		}
+		if a.RHS, err = exprAt(d.low.Module, snap.RHS); err != nil {
+			return a, err
+		}
+	case efsm.ActEval:
+		var err error
+		if a.X, err = exprAt(d.low.Module, snap.X); err != nil {
+			return a, err
+		}
+	case efsm.ActCall:
+		f, ok := d.funcs[snap.F]
+		if !ok {
+			return a, fmt.Errorf("call of unknown data function %q", snap.F)
+		}
+		a.F = f
+	default:
+		return a, fmt.Errorf("unknown action kind %d", snap.Kind)
+	}
+	return a, nil
+}

@@ -1,0 +1,518 @@
+// Package pipeline models the ECL compilation flow as an explicit
+// phase graph. Each phase is a node with declared inputs, a content
+// key derived from its *inputs'* keys (not from the raw source), and —
+// where it pays — a serializable output snapshot:
+//
+//	parse ──► sem ──► lower ──► efsm ──► efsm-min ──► emit-* / stats
+//	  │                 │         ▲
+//	  │                 │  structural fingerprint (cuts the key chain)
+//	  └── printed AST   └── kernel IR snapshot + EFSM snapshot
+//
+// The front-end phases (parse, sem, lower) are cheap and chain their
+// keys source-downward. The efsm phase's key deliberately breaks the
+// chain: it derives from the lowered module's structural fingerprint,
+// which excludes data-function bodies, so an edit confined to a data
+// function changes the parse/sem/lower/emit keys but *not* the efsm
+// key — the Runner re-runs the cheap front end, replays the cached
+// machine snapshot against the fresh lowering, and only re-renders the
+// artifacts. That is the paper's separable-refinement story applied to
+// the build: refining the data part never pays for reactive synthesis
+// again.
+//
+// A Runner consults two tiers per phase — an in-process snapshot map
+// and the persistent store's v2 phase-keyed subtree (internal/cache) —
+// and records one PhaseResult per phase walked, which the driver
+// aggregates into PhaseStats and eclc prints with -explain.
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/cache"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/efsm"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Phase names one node of the compilation graph.
+type Phase string
+
+// Pipeline phases, in flow order.
+const (
+	PhaseParse       Phase = "parse"
+	PhaseSem         Phase = "sem"
+	PhaseLower       Phase = "lower"
+	PhaseEFSM        Phase = "efsm"
+	PhaseEFSMMin     Phase = "efsm-min"
+	PhaseEmitEsterel Phase = "emit-esterel"
+	PhaseEmitC       Phase = "emit-c"
+	PhaseEmitGo      Phase = "emit-go"
+	PhaseEmitGlue    Phase = "emit-glue"
+	PhaseEmitDot     Phase = "emit-dot"
+	PhaseEmitVerilog Phase = "emit-verilog"
+	PhaseEmitVHDL    Phase = "emit-vhdl"
+	PhaseEmitStats   Phase = "stats"
+
+	// PhaseDesign is the driver-level pseudo-phase reported when a
+	// request is served whole from the design cache (memory tier or v1
+	// disk manifests) without walking the graph.
+	PhaseDesign Phase = "design"
+)
+
+// AllPhases lists every phase in flow order (the stable order used by
+// reports).
+func AllPhases() []Phase {
+	return []Phase{
+		PhaseParse, PhaseSem, PhaseLower, PhaseEFSM, PhaseEFSMMin,
+		PhaseEmitEsterel, PhaseEmitC, PhaseEmitGo, PhaseEmitGlue,
+		PhaseEmitDot, PhaseEmitVerilog, PhaseEmitVHDL, PhaseEmitStats,
+	}
+}
+
+// EmitPhase maps an artifact target name (the driver's Target) to its
+// emit phase.
+func EmitPhase(target string) (Phase, bool) {
+	switch target {
+	case "esterel":
+		return PhaseEmitEsterel, true
+	case "c":
+		return PhaseEmitC, true
+	case "go":
+		return PhaseEmitGo, true
+	case "glue":
+		return PhaseEmitGlue, true
+	case "dot":
+		return PhaseEmitDot, true
+	case "verilog":
+		return PhaseEmitVerilog, true
+	case "vhdl":
+		return PhaseEmitVHDL, true
+	case "stats":
+		return PhaseEmitStats, true
+	}
+	return "", false
+}
+
+// TargetName is EmitPhase's inverse: the artifact target an emit phase
+// renders ("" for non-emit phases).
+func TargetName(ph Phase) string {
+	switch ph {
+	case PhaseEmitEsterel:
+		return "esterel"
+	case PhaseEmitC:
+		return "c"
+	case PhaseEmitGo:
+		return "go"
+	case PhaseEmitGlue:
+		return "glue"
+	case PhaseEmitDot:
+		return "dot"
+	case PhaseEmitVerilog:
+		return "verilog"
+	case PhaseEmitVHDL:
+		return "vhdl"
+	case PhaseEmitStats:
+		return "stats"
+	}
+	return ""
+}
+
+// Status reports how one phase's output was obtained.
+type Status string
+
+// Phase statuses.
+const (
+	// StatusRebuilt: the phase ran for real.
+	StatusRebuilt Status = "rebuilt"
+	// StatusMemHit: served from the in-process snapshot cache.
+	StatusMemHit Status = "mem-hit"
+	// StatusDiskHit: decoded from the persistent v2 phase store.
+	StatusDiskHit Status = "disk-hit"
+	// StatusDesignHit: the whole request was served from the design-level
+	// cache (memory or v1 disk), so the phase was never consulted
+	// individually. Set by the driver, not the Runner.
+	StatusDesignHit Status = "design-hit"
+	// StatusFailed: the phase ran and failed.
+	StatusFailed Status = "failed"
+)
+
+// PhaseResult records one phase walked for one request.
+type PhaseResult struct {
+	Phase  Phase
+	Status Status
+	Key    string // full content key (hex); "" when never computed
+}
+
+// PhaseCounts aggregates one phase's traffic across requests.
+type PhaseCounts struct {
+	MemHits, DiskHits, Rebuilds, Failures int64
+}
+
+// PhaseStats maps each phase to its aggregated traffic.
+type PhaseStats map[Phase]PhaseCounts
+
+// Request asks the Runner for one module compiled through the graph.
+type Request struct {
+	Path   string
+	Source string
+	Module string // "" = last module in the file
+	Opts   core.Options
+	// Emits lists the artifact phases to render, in order.
+	Emits     []Phase
+	GoPackage string
+}
+
+// Result is one pipeline walk's outcome. Err/ErrPhase report a
+// front-end or machine failure (everything up to efsm-min); emission
+// failures are per-phase in EmitErrs so one failing back end does not
+// hide the others.
+type Result struct {
+	Module    string
+	Design    *core.Design
+	Artifacts map[Phase]string
+	EmitErrs  map[Phase]error
+	Stats     *core.Stats
+	Phases    []PhaseResult
+	Err       error
+	ErrPhase  Phase
+}
+
+// Runner walks the phase graph with two snapshot tiers: an in-process
+// map and the persistent store's v2 subtree. The zero value runs
+// uncached; a Runner is safe for concurrent use.
+type Runner struct {
+	// Disk is the persistent phase-snapshot tier (nil: memory only).
+	Disk *cache.Store
+	// NoCache disables both tiers (every phase rebuilds).
+	NoCache bool
+
+	mu     sync.Mutex
+	mem    map[string]map[string]string // phase key -> blob name -> content
+	stored map[string]bool              // phase keys already persisted by this process
+	stats  PhaseStats
+}
+
+// NewRunner returns a Runner over the given persistent store (nil for
+// memory-only).
+func NewRunner(disk *cache.Store) *Runner { return &Runner{Disk: disk} }
+
+// Stats snapshots the per-phase traffic counters.
+func (r *Runner) Stats() PhaseStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(PhaseStats, len(r.stats))
+	for ph, c := range r.stats {
+		out[ph] = c
+	}
+	return out
+}
+
+func (r *Runner) count(ph Phase, st Status) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stats == nil {
+		r.stats = make(PhaseStats)
+	}
+	c := r.stats[ph]
+	switch st {
+	case StatusMemHit:
+		c.MemHits++
+	case StatusDiskHit:
+		c.DiskHits++
+	case StatusRebuilt:
+		c.Rebuilds++
+	case StatusFailed:
+		c.Failures++
+	}
+	r.stats[ph] = c
+}
+
+// getSnap fetches a phase snapshot: memory first, then the v2 disk
+// subtree (populating memory on a hit). ok=false is a miss.
+func (r *Runner) getSnap(key string, want []string) (map[string]string, Status, bool) {
+	if r.NoCache || key == "" {
+		return nil, "", false
+	}
+	// Copy the wanted blobs while holding the lock: remember() merges
+	// into the per-key map in place, and phase keys are shared across
+	// requests, so an unlocked read would race a concurrent merge.
+	r.mu.Lock()
+	blobs, ok := r.mem[key]
+	var out map[string]string
+	if ok {
+		out = make(map[string]string, len(want))
+		for _, w := range want {
+			text, ok := blobs[w]
+			if !ok {
+				out = nil
+				break
+			}
+			out[w] = text
+		}
+	}
+	r.mu.Unlock()
+	if out != nil {
+		return out, StatusMemHit, true
+	}
+	if r.Disk == nil {
+		return nil, "", false
+	}
+	e, ok := r.Disk.GetPhase(key, want)
+	if !ok {
+		return nil, "", false
+	}
+	r.remember(key, e.Blobs, true)
+	return e.Blobs, StatusDiskHit, true
+}
+
+// putSnap records a freshly built snapshot in both tiers (best-effort
+// on disk: a full or unwritable store never fails the build).
+func (r *Runner) putSnap(ph Phase, key string, blobs map[string]string) {
+	if r.NoCache || key == "" || len(blobs) == 0 {
+		return
+	}
+	persisted := false
+	if r.Disk != nil {
+		persisted = r.Disk.PutPhase(key, &cache.PhaseEntry{Phase: string(ph), Blobs: blobs}) == nil
+	}
+	r.remember(key, blobs, persisted)
+}
+
+func (r *Runner) remember(key string, blobs map[string]string, persisted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mem == nil {
+		r.mem = make(map[string]map[string]string)
+	}
+	if merged, ok := r.mem[key]; ok {
+		for k, v := range blobs {
+			merged[k] = v
+		}
+	} else {
+		cp := make(map[string]string, len(blobs))
+		for k, v := range blobs {
+			cp[k] = v
+		}
+		r.mem[key] = cp
+	}
+	if persisted {
+		if r.stored == nil {
+			r.stored = make(map[string]bool)
+		}
+		r.stored[key] = true
+	}
+}
+
+// Blob names within phase snapshots.
+const (
+	blobAST    = "ast"    // parse: printed AST
+	blobKernel = "kernel" // lower: serialized kernel IR
+	blobEFSM   = "efsm"   // efsm / efsm-min: serialized machine
+	blobText   = "text"   // emit phases: rendered artifact
+	blobJSON   = "json"   // stats: machine-readable core.Stats
+)
+
+// Run walks the graph for one request. The front end (parse, sem,
+// lower) always executes — its outputs are cheap and feed every key
+// downstream — while efsm, efsm-min, and the emit phases are served
+// from their snapshot tiers whenever their keys match.
+func (r *Runner) Run(req Request) *Result {
+	res := &Result{Artifacts: make(map[Phase]string), EmitErrs: make(map[Phase]error)}
+	record := func(ph Phase, key string, st Status) {
+		res.Phases = append(res.Phases, PhaseResult{Phase: ph, Status: st, Key: key})
+		r.count(ph, st)
+	}
+	fail := func(ph Phase, key string, err error) *Result {
+		record(ph, key, StatusFailed)
+		res.Err = err
+		res.ErrPhase = ph
+		return res
+	}
+
+	// parse: preprocess + parse. Always runs (reparsing the stored AST
+	// would cost as much as parsing the source); the printed AST is
+	// still snapshotted for external consumers of the v2 store.
+	parseKey := KeyParse(req.Path, req.Source, req.Opts)
+	var diags source.DiagList
+	prep := pp.New(&diags, pp.MapResolver(req.Opts.Includes))
+	for k, v := range req.Opts.Defines {
+		prep.Define(k, v)
+	}
+	expanded := prep.Expand(source.NewFile(req.Path, req.Source))
+	file := parser.ParseFile(expanded, &diags)
+	if diags.HasErrors() {
+		return fail(PhaseParse, parseKey, diags.Err())
+	}
+	record(PhaseParse, parseKey, StatusRebuilt)
+	if !r.alreadyStored(parseKey) {
+		r.putSnap(PhaseParse, parseKey, map[string]string{blobAST: ast.String(file)})
+	}
+
+	// sem: semantic analysis. Not snapshotable (the analysis tables are
+	// pointer-keyed), so it always runs; its key anchors the chain.
+	semKey := KeySem(parseKey)
+	info := sem.Analyze(file, &diags)
+	if diags.HasErrors() {
+		return fail(PhaseSem, semKey, diags.Err())
+	}
+	record(PhaseSem, semKey, StatusRebuilt)
+
+	// Resolve the module selection (the eclc "last module" convention).
+	module := req.Module
+	if module == "" {
+		mods := file.Modules()
+		if len(mods) == 0 {
+			return fail(PhaseLower, "", fmt.Errorf("no modules in %s", req.Path))
+		}
+		module = mods[len(mods)-1].Name
+	}
+	res.Module = module
+
+	// lower: the reactive/data split. Cheap (linear), so it always
+	// runs; the kernel snapshot is stored for IR consumers.
+	lowerKey := KeyLower(semKey, module, req.Opts.Policy)
+	low, err := lower.Lower(info, module, req.Opts.Policy, &diags)
+	if err != nil {
+		return fail(PhaseLower, lowerKey, err)
+	}
+	record(PhaseLower, lowerKey, StatusRebuilt)
+
+	structFP, dataFP, lowSnapBytes, err := fingerprints(file, low)
+	if err != nil {
+		// A module the codec cannot address is compiled uncached.
+		structFP, dataFP = "", ""
+	}
+	if structFP != "" && !r.alreadyStored(lowerKey) {
+		r.putSnap(PhaseLower, lowerKey, map[string]string{blobKernel: string(lowSnapBytes)})
+	}
+
+	// efsm: synthesis, or snapshot replay when the structural
+	// fingerprint (and thus the key) is unchanged.
+	efsmKey := ""
+	if structFP != "" {
+		efsmKey = KeyEFSM(structFP, req.Opts.Compile)
+	}
+	machine, st, err := r.machinePhase(PhaseEFSM, efsmKey, low, structFP, func() (*efsm.Machine, error) {
+		return compile.CompileWith(low, req.Opts.Compile)
+	})
+	if err != nil {
+		return fail(PhaseEFSM, efsmKey, err)
+	}
+	record(PhaseEFSM, efsmKey, st)
+
+	final := machine
+	machineKey := efsmKey
+	if req.Opts.Minimize {
+		minKey := ""
+		if efsmKey != "" {
+			minKey = KeyEFSMMin(efsmKey)
+		}
+		final, st, err = r.machinePhase(PhaseEFSMMin, minKey, low, structFP, func() (*efsm.Machine, error) {
+			m, _ := efsm.Minimize(machine)
+			return m, nil
+		})
+		if err != nil {
+			return fail(PhaseEFSMMin, minKey, err)
+		}
+		record(PhaseEFSMMin, minKey, st)
+		machineKey = minKey
+	}
+
+	prog := core.NewProgram(file, info, &diags, req.Opts)
+	res.Design = &core.Design{Program: prog, Lowered: low, Machine: final}
+
+	// Emission: per-phase keyed by machine + data bodies, so a
+	// data-function edit re-renders here while the machine replays.
+	for _, ph := range req.Emits {
+		if _, done := res.Artifacts[ph]; done {
+			continue
+		}
+		key := ""
+		if machineKey != "" {
+			key = KeyEmit(ph, machineKey, dataFP, req.GoPackage)
+		}
+		want := []string{blobText}
+		if ph == PhaseEmitStats {
+			want = append(want, blobJSON)
+		}
+		if blobs, st, ok := r.getSnap(key, want); ok {
+			if ph != PhaseEmitStats || res.decodeStats(blobs[blobJSON]) {
+				res.Artifacts[ph] = blobs[blobText]
+				record(ph, key, st)
+				continue
+			}
+		}
+		text, err := Emit(res.Design, ph, req.GoPackage)
+		if err != nil {
+			res.EmitErrs[ph] = err
+			record(ph, key, StatusFailed)
+			continue
+		}
+		res.Artifacts[ph] = text
+		blobs := map[string]string{blobText: text}
+		if ph == PhaseEmitStats {
+			stt := res.Design.Stats()
+			res.Stats = &stt
+			if js, err := marshalStats(&stt); err == nil {
+				blobs[blobJSON] = js
+			}
+		}
+		record(ph, key, StatusRebuilt)
+		r.putSnap(ph, key, blobs)
+	}
+	return res
+}
+
+// decodeStats fills Result.Stats from the cached machine-readable
+// blob, reporting false (forcing a rebuild) when it does not decode.
+func (res *Result) decodeStats(js string) bool {
+	var st core.Stats
+	if err := json.Unmarshal([]byte(js), &st); err != nil {
+		return false
+	}
+	res.Stats = &st
+	return true
+}
+
+func marshalStats(st *core.Stats) (string, error) {
+	data, err := json.Marshal(st)
+	return string(data), err
+}
+
+// machinePhase serves one machine-producing phase (efsm or efsm-min)
+// from the snapshot tiers, falling back to build. Decode failures
+// (corrupt snapshot, drifted module) degrade to a rebuild.
+func (r *Runner) machinePhase(ph Phase, key string, low *lower.Result, structFP string, build func() (*efsm.Machine, error)) (*efsm.Machine, Status, error) {
+	if blobs, st, ok := r.getSnap(key, []string{blobEFSM}); ok {
+		if m, err := DecodeMachine([]byte(blobs[blobEFSM]), low, structFP); err == nil {
+			return m, st, nil
+		}
+	}
+	m, err := build()
+	if err != nil {
+		return nil, StatusFailed, err
+	}
+	if key != "" && !r.alreadyStored(key) {
+		if enc, err := EncodeMachine(m, low, structFP); err == nil {
+			r.putSnap(ph, key, map[string]string{blobEFSM: string(enc)})
+		}
+	}
+	return m, StatusRebuilt, nil
+}
+
+func (r *Runner) alreadyStored(key string) bool {
+	if r.NoCache || key == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stored[key]
+}

@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/lower"
+	"repro/internal/paperex"
+)
+
+// compileFor runs the front end and EFSM compiler for one module of a
+// source text (a fresh front-end pass per module, as the driver does).
+func compileFor(t *testing.T, name, src, module string, opts core.Options) *core.Design {
+	t.Helper()
+	prog, err := core.Parse(name, src, opts)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	if module == "" {
+		mods := prog.Modules()
+		module = mods[len(mods)-1]
+	}
+	d, err := prog.Compile(module)
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v", name, module, err)
+	}
+	return d
+}
+
+func paperModules(t *testing.T) map[string][]string {
+	t.Helper()
+	out := map[string][]string{}
+	for name, src := range map[string]string{
+		"stack": paperex.Stack, "buffer": paperex.Buffer,
+		"abro": paperex.ABRO, "runner": paperex.RunnerStop,
+	} {
+		prog, err := core.Parse(name+".ecl", src, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = prog.Modules()
+	}
+	return out
+}
+
+func paperSource(name string) string {
+	switch name {
+	case "stack":
+		return paperex.Stack
+	case "buffer":
+		return paperex.Buffer
+	case "abro":
+		return paperex.ABRO
+	case "runner":
+		return paperex.RunnerStop
+	}
+	return ""
+}
+
+// TestLoweredRoundTrip: Encode(Decode(Encode(x))) == Encode(x) for
+// every paper module, and the decoded module renders the identical
+// Esterel artifact.
+func TestLoweredRoundTrip(t *testing.T) {
+	for name, mods := range paperModules(t) {
+		src := paperSource(name)
+		for _, m := range mods {
+			d := compileFor(t, name+".ecl", src, m, core.Options{})
+			enc, err := EncodeLowered(d.Lowered)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", name, m, err)
+			}
+			dec, err := DecodeLowered(enc)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", name, m, err)
+			}
+			enc2, err := EncodeLowered(dec)
+			if err != nil {
+				t.Fatalf("%s/%s: re-encode: %v", name, m, err)
+			}
+			if string(enc) != string(enc2) {
+				t.Errorf("%s/%s: lowered snapshot round trip differs", name, m)
+			}
+			if got, want := kernel.EsterelString(dec.Module), kernel.EsterelString(d.Lowered.Module); got != want {
+				t.Errorf("%s/%s: decoded module renders different Esterel:\n%s\n--- want ---\n%s", name, m, got, want)
+			}
+			if dec.Module.NumNodes() != d.Lowered.Module.NumNodes() {
+				t.Errorf("%s/%s: decoded module has %d nodes, want %d",
+					name, m, dec.Module.NumNodes(), d.Lowered.Module.NumNodes())
+			}
+		}
+	}
+}
+
+// TestMachineRoundTrip: the EFSM snapshot re-encodes identically after
+// a decode against its own module, with and without minimization.
+func TestMachineRoundTrip(t *testing.T) {
+	for _, minimize := range []bool{false, true} {
+		for name, mods := range paperModules(t) {
+			src := paperSource(name)
+			for _, m := range mods {
+				d := compileFor(t, name+".ecl", src, m, core.Options{Minimize: minimize})
+				structFP, _, err := Fingerprints(d.Program.File, d.Lowered)
+				if err != nil {
+					t.Fatalf("%s/%s: fingerprints: %v", name, m, err)
+				}
+				enc, err := EncodeMachine(d.Machine, d.Lowered, structFP)
+				if err != nil {
+					t.Fatalf("%s/%s: encode: %v", name, m, err)
+				}
+				dec, err := DecodeMachine(enc, d.Lowered, structFP)
+				if err != nil {
+					t.Fatalf("%s/%s: decode: %v", name, m, err)
+				}
+				enc2, err := EncodeMachine(dec, d.Lowered, structFP)
+				if err != nil {
+					t.Fatalf("%s/%s: re-encode: %v", name, m, err)
+				}
+				if string(enc) != string(enc2) {
+					t.Errorf("%s/%s (min=%t): machine snapshot round trip differs", name, m, minimize)
+				}
+				if len(dec.States) != len(d.Machine.States) {
+					t.Errorf("%s/%s: decoded machine has %d states, want %d",
+						name, m, len(dec.States), len(d.Machine.States))
+				}
+			}
+		}
+	}
+}
+
+// dataEditSource returns a module whose inner while loop is a pure
+// data loop (extracted as a data function); factor only appears in
+// that loop's body, so varying it is a data-only edit.
+func dataEditSource(factor int) string {
+	return fmt.Sprintf(`
+module incworker (input pure a, input pure b, input int req,
+                  output int done, output pure pulse)
+{
+    int acc;
+    int n;
+    acc = 0;
+    par {
+        while (1) {
+            await (a);
+            emit (pulse);
+        }
+        while (1) {
+            await (b);
+            emit (pulse);
+        }
+        while (1) {
+            await (req);
+            n = 0;
+            while (n < 6) {
+                acc = acc + %d;
+                n = n + 1;
+            }
+            emit_v (done, acc);
+        }
+    }
+}
+`, factor)
+}
+
+// TestFingerprintsSplitDataEdits is the key-cutting contract: a
+// data-function body edit keeps the structural fingerprint (the efsm
+// key) and moves only the data fingerprint, while reactive and
+// environment edits move the structural fingerprint.
+func TestFingerprintsSplitDataEdits(t *testing.T) {
+	fps := func(src string) (string, string) {
+		d := compileFor(t, "inc.ecl", src, "", core.Options{})
+		s, data, err := Fingerprints(d.Program.File, d.Lowered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, data
+	}
+	s3, d3 := fps(dataEditSource(3))
+	s5, d5 := fps(dataEditSource(5))
+	if s3 != s5 {
+		t.Error("data-only edit moved the structural fingerprint (EFSM would recompile)")
+	}
+	if d3 == d5 {
+		t.Error("data-only edit did not move the data fingerprint (stale emission)")
+	}
+
+	// A reactive edit (extra emit) must move the structural fingerprint.
+	reactive := strings.Replace(dataEditSource(3), "emit_v (done, acc);", "emit (pulse); emit_v (done, acc);", 1)
+	sr, _ := fps(reactive)
+	if sr == s3 {
+		t.Error("reactive edit kept the structural fingerprint (stale EFSM)")
+	}
+
+	// An environment edit (a helper the EFSM could constant-fold) must
+	// move the structural fingerprint too.
+	env1 := "int limit(void) { return 6; }\n" + dataEditSource(3)
+	env2 := "int limit(void) { return 7; }\n" + dataEditSource(3)
+	se1, _ := fps(env1)
+	se2, _ := fps(env2)
+	if se1 == se2 {
+		t.Error("helper-function edit kept the structural fingerprint")
+	}
+}
+
+// TestMachineDecodeAcrossDataEdit replays a machine snapshot against a
+// freshly lowered module whose only change is a data-function body —
+// the incremental rebuild's core move — and checks the decoded machine
+// calls the *edited* data function.
+func TestMachineDecodeAcrossDataEdit(t *testing.T) {
+	d3 := compileFor(t, "inc.ecl", dataEditSource(3), "", core.Options{})
+	s3, _, err := Fingerprints(d3.Program.File, d3.Lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeMachine(d3.Machine, d3.Lowered, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh front end over the edited source.
+	prog, err := core.Parse("inc.ecl", dataEditSource(5), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low5, err := lower.Lower(prog.Info, "incworker", lower.MaximalReactive, prog.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s5, _, err := Fingerprints(prog.File, low5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5 != s3 {
+		t.Fatal("fingerprints differ; decode test is vacuous")
+	}
+	dec, err := DecodeMachine(enc, low5, s5)
+	if err != nil {
+		t.Fatalf("decode against edited module: %v", err)
+	}
+	if dec.Mod != low5.Module {
+		t.Error("decoded machine not bound to the fresh module")
+	}
+	// Every data call in the decoded trees must resolve to the edited
+	// module's function objects (which carry the new body).
+	found := false
+	for _, s := range dec.States {
+		for _, tr := range dec.Transitions(s) {
+			for _, act := range tr.Actions {
+				if act.F == nil {
+					continue
+				}
+				found = true
+				ok := false
+				for _, f := range low5.Module.Funcs {
+					if act.F == f {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatal("decoded machine calls a data function outside the fresh module")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no data calls in decoded machine; source lost its data loop?")
+	}
+
+	// A decode against a structurally different module must refuse.
+	if _, err := DecodeMachine(enc, low5, "different-fingerprint"); err == nil {
+		t.Error("decode accepted a mismatched fingerprint")
+	}
+}
