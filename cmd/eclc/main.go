@@ -16,12 +16,14 @@
 // stats. Default: esterel,c,glue,stats written to the output directory
 // (default ".").
 //
-// Builds go through a two-tier cache: the in-process design cache plus
-// a persistent on-disk artifact store (default $ECL_CACHE_DIR, else
-// the user cache dir), so a second eclc invocation over unchanged
-// sources is near-free. -no-disk-cache opts out, -cache-dir relocates
-// the store, and -cache-stats reports both tiers' hit rates. The store
-// itself is managed with the cache subcommand:
+// Builds go through a tiered cache: the in-process design cache, a
+// persistent on-disk artifact store (default $ECL_CACHE_DIR, else the
+// user cache dir), and optionally a shared remote cache server
+// (-remote-cache URL, default $ECL_REMOTE_CACHE — an eclcached
+// instance), so a design compiled anywhere in a fleet is a hit
+// everywhere. -no-disk-cache opts out of the disk tier, -cache-dir
+// relocates the store, and -cache-stats reports every tier's hit
+// rates. The store itself is managed with the cache subcommand:
 //
 //	eclc cache stats|gc|clear [-cache-dir dir] [-max-bytes n] [-max-age d]
 package main
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cache/remote"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/lower"
@@ -61,6 +64,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent module builds (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory (default $ECL_CACHE_DIR, else the user cache dir)")
 	noDiskCache := flag.Bool("no-disk-cache", false, "disable the persistent on-disk artifact cache")
+	remoteCache := flag.String("remote-cache", os.Getenv(remote.EnvURL),
+		"shared remote cache server URL (default $"+remote.EnvURL+"; empty disables)")
 	cacheStats := flag.Bool("cache-stats", false, "report cache hit rates after the build")
 	explain := flag.Bool("explain", false, "print per-phase cache decisions (hit/miss/rebuilt) after the build")
 	flag.Parse()
@@ -131,7 +136,22 @@ func main() {
 			d.Disk = store
 		}
 	}
+	if *remoteCache != "" {
+		rc, err := remote.Dial(*remoteCache)
+		if err != nil {
+			// A malformed URL degrades to a local-only build; an
+			// unreachable server already degrades inside the client.
+			fmt.Fprintf(os.Stderr, "eclc: remote cache disabled: %v\n", err)
+		} else {
+			d.Remote = rc
+		}
+	}
 	results, _ := d.Build(context.Background(), reqs)
+	if d.Remote != nil {
+		// Drain the async uploads before reporting stats or exiting, so
+		// a CI fleet's next build sees everything this one compiled.
+		d.Remote.Close()
+	}
 	if *explain {
 		printExplain(d, results)
 	}
@@ -242,22 +262,27 @@ func printExplain(d *driver.Driver, results []driver.Result) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr,
-			"eclc: phase-stats phase=%s mem-hits=%d disk-hits=%d rebuilds=%d failures=%d\n",
-			ph, c.MemHits, c.DiskHits, c.Rebuilds, c.Failures)
+			"eclc: phase-stats phase=%s mem-hits=%d disk-hits=%d remote-hits=%d rebuilds=%d failures=%d\n",
+			ph, c.MemHits, c.DiskHits, c.RemoteHits, c.Rebuilds, c.Failures)
 	}
 }
 
-// printCacheStats reports both tiers in a stable, grep-able form (the
-// CI dogfood step parses disk-hit-rate from it).
+// printCacheStats reports every tier in a stable, grep-able form (the
+// CI dogfood steps parse disk-hit-rate and remote-hit-rate from it).
 func printCacheStats(d *driver.Driver) {
 	cs := d.CacheStats()
 	rate := 0.0
 	if probes := cs.DiskHits + cs.DiskMisses; probes > 0 {
 		rate = 100 * float64(cs.DiskHits) / float64(probes)
 	}
+	remoteRate := 0.0
+	if probes := cs.RemoteHits + cs.RemoteMisses; probes > 0 {
+		remoteRate = 100 * float64(cs.RemoteHits) / float64(probes)
+	}
 	fmt.Fprintf(os.Stderr,
-		"eclc: cache stats: mem-hits=%d mem-misses=%d disk-hits=%d disk-misses=%d disk-hit-rate=%.1f%%\n",
-		cs.Hits, cs.Misses, cs.DiskHits, cs.DiskMisses, rate)
+		"eclc: cache stats: mem-hits=%d mem-misses=%d disk-hits=%d disk-misses=%d disk-hit-rate=%.1f%% remote-hits=%d remote-misses=%d remote-hit-rate=%.1f%% remote-uploads=%d\n",
+		cs.Hits, cs.Misses, cs.DiskHits, cs.DiskMisses, rate,
+		cs.RemoteHits, cs.RemoteMisses, remoteRate, cs.RemoteUploads)
 }
 
 // cacheCmd implements `eclc cache stats|gc|clear`.

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// build compiles one of this repo's commands into dir.
+func build(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	exe := filepath.Join(dir, name)
+	out, err := exec.Command("go", "build", "-o", exe, pkg).CombinedOutput()
+	if err != nil {
+		t.Skipf("go build unavailable: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// startDaemon launches eclcached on an ephemeral port and returns its
+// announced URL.
+func startDaemon(t *testing.T, exe, storeDir string) string {
+	t.Helper()
+	cmd := exec.Command(exe, "-addr", "127.0.0.1:0", "-cache-dir", storeDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	line := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		if sc.Scan() {
+			line <- sc.Text()
+		}
+		close(line)
+	}()
+	select {
+	case l := <-line:
+		m := regexp.MustCompile(`on (127\.0\.0\.1:\d+)$`).FindStringSubmatch(l)
+		if m == nil {
+			t.Fatalf("eclcached announced %q, no address", l)
+		}
+		return "http://" + m[1]
+	case <-time.After(10 * time.Second):
+		t.Fatal("eclcached never announced its address")
+	}
+	panic("unreachable")
+}
+
+// TestFleetSharesCompilesThroughDaemon is the CI dogfood flow against
+// the real binaries: machine A (empty local store) compiles examples/
+// and uploads; machine B (its own empty local store) must be served
+// >= 90% from the daemon.
+func TestFleetSharesCompilesThroughDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary end-to-end test")
+	}
+	dir := t.TempDir()
+	daemon := build(t, dir, "repro/cmd/eclcached", "eclcached")
+	eclc := build(t, dir, "repro/cmd/eclc", "eclc")
+	examples, err := filepath.Abs("../../examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startDaemon(t, daemon, t.TempDir())
+
+	run := func(localStore, outDir string) string {
+		cmd := exec.Command(eclc, "-all", "-cache-stats",
+			"-cache-dir", localStore, "-remote-cache", url, "-o", outDir, examples)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("eclc failed: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+
+	first := run(t.TempDir(), t.TempDir())
+	if !strings.Contains(first, "remote-hits=0") || strings.Contains(first, "remote-uploads=0") {
+		t.Fatalf("first machine should miss remotely and upload:\n%s", first)
+	}
+
+	second := run(t.TempDir(), t.TempDir())
+	m := regexp.MustCompile(`remote-hit-rate=([0-9.]+)%`).FindStringSubmatch(second)
+	if m == nil {
+		t.Fatalf("no remote-hit-rate in output:\n%s", second)
+	}
+	rate, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || rate < 90 {
+		t.Fatalf("second machine remote-hit-rate = %s%% (want >= 90):\n%s", m[1], second)
+	}
+	if !strings.Contains(second, "mem-misses=0") {
+		t.Fatalf("second machine compiled something:\n%s", second)
+	}
+}

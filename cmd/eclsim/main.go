@@ -26,7 +26,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -118,18 +120,46 @@ func main() {
 		}
 	}
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.Encode(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFileAtomic(*tracePath, trace.Encode); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "eclsim: trace (%d instants) written to %s\n", len(trace.Events), *tracePath)
 	}
+}
+
+// writeFileAtomic streams write into a temp file next to path and
+// renames it into place — the same discipline as internal/cache — so a
+// mid-encode failure (full disk, crash) can never leave a truncated,
+// unreplayable trace at the destination, and an existing trace there
+// survives a failed rewrite.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".trace-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// CreateTemp's 0600 would stick after the rename; traces are meant
+	// to be shared (replayed by other users/CI steps), so restore the
+	// os.Create-era world-readable mode.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
 }
 
 // replay drives the machine with a recorded trace and diffs outputs,

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -93,5 +95,92 @@ func TestReplayDivergenceExitsNonZero(t *testing.T) {
 		// The machine replays exactly the recorded inputs, so a pure
 		// truncation replays cleanly; only assert it doesn't crash.
 		t.Fatalf("truncated replay crashed: %v\n%s", err, out)
+	}
+}
+
+// TestWriteFileAtomicPreservesDestinationOnFailure is the regression
+// test for the truncated-trace bug: -trace used to os.Create the
+// destination and encode into it directly, so a mid-encode failure
+// left a truncated, unreplayable file. The atomic writer must leave an
+// existing destination byte-identical when the write fails partway,
+// and clean up its temp file.
+func TestWriteFileAtomicPreservesDestinationOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "trace.jsonl")
+	good := "{\"instant\":0}\n{\"instant\":1}\n"
+	if err := os.WriteFile(dst, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer that emits half its payload and then fails, like an
+	// encoder hitting a full disk mid-stream.
+	injected := errors.New("injected mid-encode failure")
+	err := writeFileAtomic(dst, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "{\"instant\":0}\n{\"ins"); err != nil {
+			return err
+		}
+		return injected
+	})
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != good {
+		t.Fatalf("failed write clobbered the destination:\n%q", data)
+	}
+	assertNoTempFiles(t, dir)
+
+	// A successful write replaces the content whole.
+	if err := writeFileAtomic(dst, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{\"instant\":9}\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(dst); string(data) != "{\"instant\":9}\n" {
+		t.Fatalf("successful write produced %q", data)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp dropping left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestTraceBinaryWritesReplayableFile drives the real binary: a
+// recorded trace must land complete (replayable by the same binary)
+// with no temp droppings next to it.
+func TestTraceBinaryWritesReplayableFile(t *testing.T) {
+	exe := buildEclsim(t)
+	dir := t.TempDir()
+	abro, err := filepath.Abs("../../examples/abro.ecl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "run.jsonl")
+	if out, err := exec.Command(exe, "-n", "3", "-trace", trace, abro).CombinedOutput(); err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(exe, "-replay", trace, abro).CombinedOutput(); err != nil {
+		t.Fatalf("replay of freshly written trace failed: %v\n%s", err, out)
+	}
+	assertNoTempFiles(t, dir)
+
+	// An unwritable destination must fail loudly and leave nothing
+	// half-written anywhere under it.
+	if out, err := exec.Command(exe, "-n", "1", "-trace", filepath.Join(dir, "missing", "t.jsonl"), abro).CombinedOutput(); err == nil {
+		t.Fatalf("write into a missing directory exited zero:\n%s", out)
 	}
 }

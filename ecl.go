@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cache/remote"
 	"repro/internal/core"
 	"repro/internal/cval"
 	"repro/internal/driver"
@@ -174,6 +175,24 @@ type DiskCache = cache.Store
 
 // CacheGCResult reports one GCCache pass.
 type CacheGCResult = cache.GCResult
+
+// RemoteCache is the shared cache tier's client: it speaks the HTTP
+// content-addressed protocol of internal/cache/remote (served by the
+// eclcached binary) and slots into a Driver as the third tier behind
+// memory and the local disk. Assign one to Driver.Remote so a whole
+// fleet shares compiled artifacts; reads degrade to misses on any
+// failure, writes are asynchronous and best-effort.
+type RemoteCache = remote.Client
+
+// RemoteCacheStats snapshots a RemoteCache's traffic counters.
+type RemoteCacheStats = remote.Stats
+
+// DialRemoteCache returns a client for the shared cache server at url
+// (an eclcached instance; see also the $ECL_REMOTE_CACHE convention).
+// Dialing does not contact the server — an unreachable server surfaces
+// as cache misses, never as errors. Close (or Flush) the client to
+// drain its pending uploads before exiting.
+func DialRemoteCache(url string) (*RemoteCache, error) { return remote.Dial(url) }
 
 // CacheDir returns the persistent cache's default location:
 // $ECL_CACHE_DIR, else the user cache dir's "ecl" subdirectory.

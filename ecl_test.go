@@ -3,9 +3,11 @@ package ecl
 import (
 	"bytes"
 	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/cache/remote"
 	"repro/internal/paperex"
 )
 
@@ -286,5 +288,53 @@ func TestPublicAPIDiskCache(t *testing.T) {
 	// stored for it (parse, lower, efsm, emit-c).
 	if gc.LiveEntries != 5 {
 		t.Fatalf("GCCache sees %d live entries, want 5 (1 design + 4 phase)", gc.LiveEntries)
+	}
+}
+
+func TestPublicAPIRemoteCache(t *testing.T) {
+	// A real shared tier: the protocol server over its own store.
+	backing, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(remote.NewServer(backing))
+	defer srv.Close()
+
+	req := BuildRequest{Path: "abro.ecl", Source: paperex.ABRO, Targets: []Target{TargetC}}
+
+	// Machine A compiles and uploads.
+	rcA, err := DialRemoteCache(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA := NewDriver(0)
+	dA.Remote = rcA
+	if res := dA.BuildOne(req); res.Failed() || res.Cached {
+		t.Fatalf("cold: err=%v cached=%t", res.Err, res.Cached)
+	}
+	rcA.Close()
+
+	// Machine B is served remotely, visible through the facade stats.
+	rcB, err := DialRemoteCache(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcB.Close()
+	dB := NewDriver(0)
+	dB.Remote = rcB
+	res := dB.BuildOne(req)
+	if res.Failed() || !res.RemoteCached {
+		t.Fatalf("warm: err=%v remoteCached=%t", res.Err, res.RemoteCached)
+	}
+	var cs CacheStats = dB.CacheStats()
+	if cs.RemoteHits != 1 || cs.Misses != 0 {
+		t.Fatalf("stats = %+v, want one remote hit and no compiles", cs)
+	}
+	var rs RemoteCacheStats = rcB.Stats()
+	if rs.Hits != 1 {
+		t.Fatalf("client stats = %+v, want one hit", rs)
+	}
+	if _, err := DialRemoteCache("not a url"); err == nil {
+		t.Fatal("DialRemoteCache accepted garbage")
 	}
 }

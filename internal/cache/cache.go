@@ -106,6 +106,19 @@ type Stats struct {
 	Evictions, Errors                 int64
 }
 
+// Tier is the store shape the build consults, tier-agnostically: the
+// on-disk Store implements it, and so does the HTTP client in
+// internal/cache/remote, which is how a shared remote cache slots in
+// behind the same calls as the local disk. Get/GetPhase report misses
+// (never errors); Put/PutPhase are best-effort for callers that treat
+// persistence as an optimization.
+type Tier interface {
+	Get(key string, want []string) (*Entry, bool)
+	Put(key string, e *Entry) error
+	GetPhase(key string, want []string) (*PhaseEntry, bool)
+	PutPhase(key string, e *PhaseEntry) error
+}
+
 // Store is a persistent artifact cache rooted at one directory. It is
 // safe for concurrent use by multiple goroutines and multiple
 // processes.
@@ -237,7 +250,17 @@ func (s *Store) Put(key string, e *Entry) error {
 		}
 		hashes[k] = h
 	}
+	return s.MergeManifest(key, e.Module, hashes)
+}
 
+// MergeManifest merges artifact-name → blob-hash references into the
+// key's v1 manifest, for callers (the remote cache server) whose blobs
+// arrive separately. The referenced blobs must already be in the store;
+// Put is the blob-writing front end over it.
+func (s *Store) MergeManifest(key, module string, hashes map[string]string) error {
+	if module == "" || len(hashes) == 0 {
+		return fmt.Errorf("cache: refusing to store empty manifest for %s", key)
+	}
 	// Merge with any existing manifest under a per-key lock so two
 	// processes caching different targets of one design don't drop each
 	// other's artifacts. A lost lock (timeout) degrades to last-wins.
@@ -245,12 +268,12 @@ func (s *Store) Put(key string, e *Entry) error {
 	defer unlock()
 	m, ok := s.readManifest(key)
 	if !ok {
-		m = &manifest{Version: SchemaVersion, Key: key, Module: e.Module, Artifacts: hashes}
+		m = &manifest{Version: SchemaVersion, Key: key, Module: module, Artifacts: hashes}
 	} else {
 		for k, h := range hashes {
 			m.Artifacts[k] = h
 		}
-		m.Module = e.Module
+		m.Module = module
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -311,7 +334,17 @@ func (s *Store) PutPhase(key string, e *PhaseEntry) error {
 		}
 		hashes[k] = h
 	}
-	m := &phaseManifest{Version: PhaseSchemaVersion, Key: key, Phase: e.Phase, Blobs: hashes}
+	return s.PutPhaseManifest(key, e.Phase, hashes)
+}
+
+// PutPhaseManifest writes the key's v2 manifest from blob-name →
+// blob-hash references, for callers (the remote cache server) whose
+// blobs arrive separately; PutPhase is the blob-writing front end.
+func (s *Store) PutPhaseManifest(key, phase string, hashes map[string]string) error {
+	if phase == "" || len(hashes) == 0 {
+		return fmt.Errorf("cache: refusing to store empty phase manifest for %s", key)
+	}
+	m := &phaseManifest{Version: PhaseSchemaVersion, Key: key, Phase: phase, Blobs: hashes}
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
@@ -410,6 +443,74 @@ func (s *Store) Size() (bytes int64, entries int, err error) {
 		}
 	}
 	return bytes, entries, err
+}
+
+// ---------------------------------------------------------------------------
+// Schema-addressed accessors (the remote cache server's storage API)
+
+var _ Tier = (*Store)(nil)
+
+// root maps a schema version (SchemaVersion or PhaseSchemaVersion) to
+// its subtree root; other versions report false.
+func (s *Store) root(version int) (string, bool) {
+	switch version {
+	case SchemaVersion:
+		return s.v1, true
+	case PhaseSchemaVersion:
+		return s.v2, true
+	}
+	return "", false
+}
+
+// HasBlob reports whether the given schema subtree holds a blob of the
+// hash (by existence; content is verified on read).
+func (s *Store) HasBlob(version int, hash string) bool {
+	root, ok := s.root(version)
+	if !ok {
+		return false
+	}
+	_, err := os.Stat(s.blobPathIn(root, hash))
+	return err == nil
+}
+
+// ReadBlob returns the hash-verified content of one blob from the
+// given schema subtree; corrupt blobs are deleted and read as absent.
+func (s *Store) ReadBlob(version int, hash string) (string, bool) {
+	root, ok := s.root(version)
+	if !ok {
+		return "", false
+	}
+	return s.readBlob(root, hash)
+}
+
+// WriteBlob stores content in the given schema subtree under its
+// SHA-256 and returns the hash.
+func (s *Store) WriteBlob(version int, text string) (string, error) {
+	root, ok := s.root(version)
+	if !ok {
+		return "", fmt.Errorf("cache: unknown schema version %d", version)
+	}
+	return s.writeBlob(root, text)
+}
+
+// Manifest returns a design key's raw v1 manifest: the module name and
+// the artifact-name → blob-hash map (not the blob contents).
+func (s *Store) Manifest(key string) (module string, artifacts map[string]string, ok bool) {
+	m, ok := s.readManifest(key)
+	if !ok {
+		return "", nil, false
+	}
+	return m.Module, m.Artifacts, true
+}
+
+// PhaseManifest returns a phase key's raw v2 manifest: the producing
+// phase and the blob-name → blob-hash map.
+func (s *Store) PhaseManifest(key string) (phase string, blobs map[string]string, ok bool) {
+	m, ok := s.readPhaseManifest(key)
+	if !ok {
+		return "", nil, false
+	}
+	return m.Phase, m.Blobs, true
 }
 
 // ---------------------------------------------------------------------------

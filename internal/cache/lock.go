@@ -15,6 +15,14 @@ const lockStale = 30 * time.Second
 // lockSeq disambiguates locks taken by one process.
 var lockSeq atomic.Int64
 
+// writeLockToken writes the holder's token into a freshly created lock
+// file. It is a variable so tests can inject write failures (a short
+// or failed write must not leave an unreleasable lock behind).
+var writeLockToken = func(f *os.File, token string) error {
+	_, err := f.WriteString(token)
+	return err
+}
+
 // lock acquires a best-effort cross-process lock file under the store
 // root and returns its release function. It spins (with backoff) up to
 // wait, breaking locks older than lockStale; on timeout it proceeds
@@ -33,9 +41,24 @@ func (s *Store) lock(name string, wait time.Duration) (unlock func()) {
 	for {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
-			f.WriteString(token)
-			f.Close()
-			return func() { s.unlock(path, token) }
+			werr := writeLockToken(f, token)
+			cerr := f.Close()
+			if werr == nil && cerr == nil {
+				return func() { s.unlock(path, token) }
+			}
+			// A failed or short token write leaves a lock file no one
+			// can release (unlock only removes a matching token), which
+			// would stall every contender until the stale break. Drop
+			// the bad file and retry within the deadline.
+			os.Remove(path)
+			if time.Now().After(deadline) {
+				return func() {}
+			}
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+			continue
 		}
 		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > lockStale {
 			// Break the stale lock by renaming it aside: rename is

@@ -1,0 +1,339 @@
+package remote
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// startServer spins up a protocol server over a fresh on-disk store.
+func startServer(t *testing.T) (*httptest.Server, *cache.Store) {
+	t.Helper()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(store))
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func dialT(t *testing.T, url string) *Client {
+	t.Helper()
+	c, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// key64 builds a valid 64-hex-char key from a short tag.
+func key64(tag string) string {
+	sum := sha256.Sum256([]byte(tag))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestRoundTripDesignEntry is the core contract: an entry uploaded by
+// one client is served, byte-identical and hash-verified, to another
+// client of the same server — the shared-tier story end to end.
+func TestRoundTripDesignEntry(t *testing.T) {
+	srv, _ := startServer(t)
+	key := key64("design")
+	entry := &cache.Entry{
+		Module: "abro",
+		Artifacts: map[string]string{
+			"c":       "int tick(void) { return 1; }\n",
+			"esterel": "module ABRO:\nend module\n",
+		},
+	}
+
+	up := dialT(t, srv.URL)
+	if err := up.Put(key, entry); err != nil {
+		t.Fatal(err)
+	}
+	up.Flush()
+	if st := up.Stats(); st.Uploads != 1 || st.Errors != 0 {
+		t.Fatalf("uploader stats = %+v, want 1 upload, 0 errors", st)
+	}
+
+	down := dialT(t, srv.URL)
+	got, ok := down.Get(key, []string{"c", "esterel"})
+	if !ok {
+		t.Fatal("fresh client missed an uploaded entry")
+	}
+	if got.Module != entry.Module {
+		t.Fatalf("module = %q, want %q", got.Module, entry.Module)
+	}
+	for k, want := range entry.Artifacts {
+		if got.Artifacts[k] != want {
+			t.Fatalf("artifact %q = %q, want %q", k, got.Artifacts[k], want)
+		}
+	}
+	if st := down.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("downloader stats = %+v, want 1 hit", st)
+	}
+
+	// A key the server never saw is a plain miss.
+	if _, ok := down.Get(key64("never"), []string{"c"}); ok {
+		t.Fatal("hit on an absent key")
+	}
+	// A wanted artifact the manifest lacks is a miss, not a partial hit.
+	if _, ok := down.Get(key, []string{"c", "vhdl"}); ok {
+		t.Fatal("hit despite a missing wanted artifact")
+	}
+}
+
+// TestRoundTripPhaseEntry covers the v2 side: phase snapshots travel
+// the same protocol under their own schema subtree.
+func TestRoundTripPhaseEntry(t *testing.T) {
+	srv, store := startServer(t)
+	key := key64("phase")
+	entry := &cache.PhaseEntry{Phase: "efsm", Blobs: map[string]string{"efsm": `{"states":3}`}}
+
+	up := dialT(t, srv.URL)
+	up.PutPhase(key, entry)
+	up.Flush()
+
+	down := dialT(t, srv.URL)
+	got, ok := down.GetPhase(key, []string{"efsm"})
+	if !ok {
+		t.Fatal("fresh client missed an uploaded phase entry")
+	}
+	if got.Phase != "efsm" || got.Blobs["efsm"] != entry.Blobs["efsm"] {
+		t.Fatalf("phase entry = %+v, want %+v", got, entry)
+	}
+	// The server's backing store is an ordinary cache.Store: the entry
+	// is directly readable from it.
+	if _, ok := store.GetPhase(key, []string{"efsm"}); !ok {
+		t.Fatal("backing store cannot read the served phase entry")
+	}
+}
+
+// TestUploadDedupesBlobs: re-uploading content the server already has
+// skips the blob PUT (HEAD short-circuit) but still lands the second
+// manifest.
+func TestUploadDedupesBlobs(t *testing.T) {
+	srv, store := startServer(t)
+	c := dialT(t, srv.URL)
+	shared := map[string]string{"c": "shared artifact body\n"}
+	c.Put(key64("k1"), &cache.Entry{Module: "m1", Artifacts: shared})
+	c.Put(key64("k2"), &cache.Entry{Module: "m2", Artifacts: shared})
+	c.Flush()
+	if st := c.Stats(); st.Uploads != 2 {
+		t.Fatalf("uploads = %d, want 2", st.Uploads)
+	}
+	if _, ok := store.Get(key64("k1"), []string{"c"}); !ok {
+		t.Fatal("k1 not on server")
+	}
+	if _, ok := store.Get(key64("k2"), []string{"c"}); !ok {
+		t.Fatal("k2 not on server")
+	}
+}
+
+// TestServerRejectsLyingBlobPut: a body that does not hash to its URL
+// must be refused, so one bad client cannot poison the shared store.
+func TestServerRejectsLyingBlobPut(t *testing.T) {
+	srv, store := startServer(t)
+	hash := key64("claimed-content")
+	req, _ := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/blobs/%s", srv.URL, hash), strings.NewReader("other content"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("lying blob PUT got %d, want 400", resp.StatusCode)
+	}
+	if store.HasBlob(cache.SchemaVersion, hash) {
+		t.Fatal("server stored a blob whose content does not match its hash")
+	}
+}
+
+// TestServerRejectsDanglingManifest: a manifest referencing a blob the
+// server does not hold must be refused.
+func TestServerRejectsDanglingManifest(t *testing.T) {
+	srv, _ := startServer(t)
+	body := fmt.Sprintf(`{"module":"m","artifacts":{"c":"%s"}}`, key64("not-uploaded"))
+	req, _ := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/manifests/%s", srv.URL, key64("k")), strings.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dangling manifest PUT got %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerRejectsTraversalIDs: keys and hashes are hex-only, so path
+// metacharacters can never reach the store's filesystem layout.
+func TestServerRejectsTraversalIDs(t *testing.T) {
+	srv, _ := startServer(t)
+	for _, path := range []string{
+		"/v1/blobs/..%2f..%2fetc", "/v1/manifests/..%2fx", "/v3/blobs/" + key64("x"), "/v1/blobs/UPPER",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("GET %s unexpectedly succeeded", path)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a hostile or broken server must only ever cost a
+// miss — corrupt blobs, 500s, and hangs all degrade, never surface
+// wrong artifacts or an error.
+
+// faultClient dials a handler-backed server with a tight timeout so
+// hang tests stay fast.
+func faultClient(t *testing.T, h http.Handler) *Client {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	c, err := DialWith(srv.URL, &http.Client{Timeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// assertMiss drives both read paths and fails on anything but a miss.
+func assertMiss(t *testing.T, c *Client, scenario string) {
+	t.Helper()
+	if e, ok := c.Get(key64("k"), []string{"c"}); ok {
+		t.Fatalf("%s: Get returned a hit: %+v", scenario, e)
+	}
+	if e, ok := c.GetPhase(key64("k"), []string{"efsm"}); ok {
+		t.Fatalf("%s: GetPhase returned a hit: %+v", scenario, e)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.PhaseMisses != 1 {
+		t.Fatalf("%s: stats = %+v, want exactly one miss per tier", scenario, st)
+	}
+}
+
+func TestFaultCorruptBlobsReadAsMisses(t *testing.T) {
+	// The server serves valid manifests whose blobs come back as
+	// garbage that does not match their hash — the wrong-artifact
+	// attack. The client must verify and miss.
+	goodHash := key64("good")
+	c := faultClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.Contains(r.URL.Path, "/manifests/"):
+			if strings.HasPrefix(r.URL.Path, "/v1/") {
+				fmt.Fprintf(w, `{"module":"m","artifacts":{"c":"%s"}}`, goodHash)
+			} else {
+				fmt.Fprintf(w, `{"phase":"efsm","blobs":{"efsm":"%s"}}`, goodHash)
+			}
+		case strings.Contains(r.URL.Path, "/blobs/"):
+			fmt.Fprint(w, "CORRUPTED GARBAGE, NOT THE CONTENT")
+		}
+	}))
+	assertMiss(t, c, "corrupt blob")
+	if c.Stats().Errors == 0 {
+		t.Fatal("corruption left no trace in the error counter")
+	}
+}
+
+func TestFault500sReadAsMisses(t *testing.T) {
+	c := faultClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal meltdown", http.StatusInternalServerError)
+	}))
+	assertMiss(t, c, "500s")
+}
+
+func TestFaultHangsReadAsMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping timeout test")
+	}
+	release := make(chan struct{})
+	defer close(release)
+	c := faultClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the test tears down
+	}))
+	start := time.Now()
+	assertMiss(t, c, "hanging server")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hanging server stalled reads for %v; must time out to a miss", elapsed)
+	}
+}
+
+func TestFaultCorruptManifestJSONReadsAsMiss(t *testing.T) {
+	c := faultClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"module": truncated garbage`)
+	}))
+	assertMiss(t, c, "corrupt manifest JSON")
+}
+
+func TestFaultDeadServerUploadsAreBestEffort(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing listens anymore
+	c, err := DialWith(url, &http.Client{Timeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put(key64("k"), &cache.Entry{Module: "m", Artifacts: map[string]string{"c": "x"}}); err != nil {
+		t.Fatalf("Put against a dead server must stay best-effort, got %v", err)
+	}
+	c.Flush()
+	if st := c.Stats(); st.Uploads != 0 || st.Errors == 0 {
+		t.Fatalf("dead-server stats = %+v, want 0 uploads and recorded errors", st)
+	}
+}
+
+func TestDialRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "ftp://host/x", "http://", ":::"} {
+		if _, err := Dial(bad); err == nil {
+			t.Fatalf("Dial(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestStatszCountsProtocolTraffic: /statsz must reflect what the fleet
+// actually did — served manifests/blobs and accepted uploads — not sit
+// at zero (the store's own counters don't see the raw-accessor path).
+func TestStatszCountsProtocolTraffic(t *testing.T) {
+	srv, _ := startServer(t)
+	key := key64("traffic")
+	c := dialT(t, srv.URL)
+	c.Put(key, &cache.Entry{Module: "m", Artifacts: map[string]string{"c": "body"}})
+	c.Flush()
+	if _, ok := c.Get(key, []string{"c"}); !ok {
+		t.Fatal("round trip failed")
+	}
+
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ManifestPuts != 1 || st.BlobPuts != 1 {
+		t.Fatalf("statsz puts = %+v, want 1 manifest + 1 blob", st)
+	}
+	if st.ManifestHits != 1 || st.BlobHits != 1 {
+		t.Fatalf("statsz hits = %+v, want 1 manifest + 1 blob", st)
+	}
+	if st.StoreEntries == 0 || st.StoreBytes == 0 {
+		t.Fatalf("statsz store footprint empty: %+v", st)
+	}
+}

@@ -1,11 +1,36 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/compile"
 	"repro/internal/paperex"
 )
+
+// seedExamples widens the corpus with every shipped example (ROADMAP:
+// the .ecl corpus under examples/), keeping the seeds within the fuzz
+// body's size cap so none are skipped.
+func seedExamples(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.ecl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example corpus found; did examples/ move?")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if len(data) > 1<<13 {
+			continue // the fuzz body skips oversized inputs anyway
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzCompile runs the whole front end plus EFSM compilation over
 // arbitrary text (seeded from the paper-example corpus) and asserts
@@ -19,6 +44,7 @@ func FuzzCompile(f *testing.F) {
 	f.Add("module m (input pure a, output pure b) { while (1) { await (a); emit (b); } }")
 	f.Add("module m (input int v) { signal pure s; par { emit (s); await (v); } }")
 	f.Add("#define A B\nmodule m (input pure A) { await (A); }")
+	seedExamples(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<13 {
 			t.Skip("oversized input")

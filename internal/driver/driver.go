@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/cache/remote"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/source"
@@ -124,10 +125,11 @@ type Result struct {
 	// (pipeline.PhaseDesign) naming the tier that served it.
 	Phases []pipeline.PhaseResult
 
-	Diags      []Diagnostic
-	Err        error
-	Cached     bool // served without recompiling (either cache tier)
-	DiskCached bool // served from the persistent on-disk tier
+	Diags        []Diagnostic
+	Err          error
+	Cached       bool // served without recompiling (any cache tier)
+	DiskCached   bool // served from the persistent on-disk tier
+	RemoteCached bool // served from the shared remote tier
 }
 
 // Failed reports whether the request produced an error.
@@ -137,22 +139,29 @@ func (r *Result) Failed() bool { return r.Err != nil }
 // to use: it sizes its worker pool to GOMAXPROCS and caches compiled
 // designs by content hash. A Driver is safe for concurrent use.
 //
-// The cache has two tiers: an in-memory map (designs plus rendered
-// artifacts, single-flight per content hash) and, when Disk is set, a
-// persistent content-addressed artifact store shared across processes.
-// A request is served memory → disk → compile; compiles repopulate
-// both tiers.
+// The cache has up to three tiers: an in-memory map (designs plus
+// rendered artifacts, single-flight per content hash), a persistent
+// content-addressed artifact store shared across processes (Disk), and
+// a shared remote cache server (Remote) the whole fleet populates. A
+// request is served memory → disk → remote → compile; a remote hit is
+// written through to the local disk tier, and fresh compiles
+// repopulate every tier (the remote upload is asynchronous and
+// best-effort).
 type Driver struct {
 	// Workers bounds the number of concurrently building requests
 	// (default: GOMAXPROCS).
 	Workers int
-	// NoCache disables both cache tiers (every request recompiles).
+	// NoCache disables every cache tier (every request recompiles).
 	NoCache bool
 	// Disk is the persistent second cache tier (nil: memory only).
 	// Only requests with targets use it — the disk tier stores
 	// rendered artifacts, so a request that needs the compiled Design
 	// itself (no targets) always goes through the compiler.
 	Disk *cache.Store
+	// Remote is the shared third cache tier (nil: none): an HTTP
+	// content-addressed cache server (eclcached) dialed with
+	// remote.Dial. Like Disk it serves rendered artifacts only.
+	Remote *remote.Client
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -168,6 +177,11 @@ func (d *Driver) runner() *pipeline.Runner {
 	defer d.mu.Unlock()
 	if d.pipe == nil {
 		d.pipe = &pipeline.Runner{Disk: d.Disk, NoCache: d.NoCache}
+		if d.Remote != nil {
+			// Assigned only when non-nil: a typed nil inside the Tier
+			// interface would defeat the runner's nil checks.
+			d.pipe.Remote = d.Remote
+		}
 	}
 	return d.pipe
 }
@@ -190,19 +204,31 @@ type CacheStats struct {
 	// tier's whole-design (v1) manifests (all zero when the driver has
 	// no Disk store).
 	DiskHits, DiskMisses, DiskEvictions int64
+	// RemoteHits and RemoteMisses count the shared remote tier's
+	// whole-design probes; RemoteUploads counts entries (design and
+	// phase) successfully pushed to it, RemoteErrors its degraded reads
+	// and failed uploads (all zero when the driver has no Remote
+	// client).
+	RemoteHits, RemoteMisses, RemoteUploads, RemoteErrors int64
 	// Phases breaks pipeline traffic down per phase: how often each
-	// phase was replayed from memory or the v2 phase store versus
-	// rebuilt. Requests served entirely from the design-level tiers do
-	// not appear here (they are counted by Hits/DiskHits).
+	// phase was replayed from memory, the v2 phase store, or the remote
+	// tier versus rebuilt. Requests served entirely from the
+	// design-level tiers do not appear here (they are counted by
+	// Hits/DiskHits/RemoteHits).
 	Phases PhaseStats
 }
 
-// CacheStats reports cache traffic so far across both tiers.
+// CacheStats reports cache traffic so far across all tiers.
 func (d *Driver) CacheStats() CacheStats {
 	cs := CacheStats{Hits: d.hits.Load(), Misses: d.misses.Load()}
 	if d.Disk != nil {
 		st := d.Disk.Stats()
 		cs.DiskHits, cs.DiskMisses, cs.DiskEvictions = st.Hits, st.Misses, st.Evictions
+	}
+	if d.Remote != nil {
+		st := d.Remote.Stats()
+		cs.RemoteHits, cs.RemoteMisses = st.Hits, st.Misses
+		cs.RemoteUploads, cs.RemoteErrors = st.Uploads, st.Errors
 	}
 	d.mu.Lock()
 	pipe := d.pipe
@@ -330,6 +356,24 @@ func (d *Driver) buildOne(req Request) Result {
 				res = Result{Path: req.Path, Module: req.Module}
 			}
 		}
+		// Remote tier: the shared fleet cache, tried only after both
+		// local tiers miss. A hit is written through to the local disk
+		// store so the next process on this machine stays off the
+		// network.
+		if d.Remote != nil && !d.NoCache {
+			if ce, ok := d.Remote.Get(key, want); ok {
+				if tryFillFromArtifacts(&res, req, ce.Module, ce.Artifacts) {
+					res.Cached, res.RemoteCached = true, true
+					res.Phases = designPhases(pipeline.StatusRemoteHit, key)
+					if d.Disk != nil {
+						d.Disk.Put(key, ce) // best-effort read-through
+					}
+					entry.absorb(ce.Module, ce.Artifacts)
+					return res
+				}
+				res = Result{Path: req.Path, Module: req.Module}
+			}
+		}
 	}
 
 	built := false
@@ -375,8 +419,8 @@ func (d *Driver) buildOne(req Request) Result {
 			st := entry.design.Stats()
 			res.Stats = &st
 		}
-		if d.Disk != nil && !d.NoCache {
-			d.storeDisk(key, entry, req, &res)
+		if (d.Disk != nil || d.Remote != nil) && !d.NoCache {
+			d.persist(key, entry, req, &res)
 		}
 	}
 	return res
@@ -427,11 +471,13 @@ func tryFillFromArtifacts(res *Result, req Request, module string, arts map[stri
 	return true
 }
 
-// storeDisk writes this request's freshly rendered artifacts to the
-// persistent tier (merging with whatever the key already has). Keys
-// already persisted by this process are skipped, so warm rebuild loops
-// do not rewrite the store every iteration.
-func (d *Driver) storeDisk(key string, entry *cacheEntry, req Request, res *Result) {
+// persist writes this request's freshly rendered artifacts to the
+// persistent tiers: the local disk store (merging with whatever the
+// key already has) and, when configured, the shared remote tier (an
+// asynchronous best-effort upload inside the client). Keys already
+// persisted by this process are skipped, so warm rebuild loops do not
+// rewrite the store every iteration.
+func (d *Driver) persist(key string, entry *cacheEntry, req Request, res *Result) {
 	want := wantKeys(req.Targets, req.GoPackage)
 	if entry.allStored(want) {
 		return
@@ -447,11 +493,19 @@ func (d *Driver) storeDisk(key string, entry *cacheEntry, req Request, res *Resu
 		}
 		arts[statsJSONKey] = string(data)
 	}
+	ce := &cache.Entry{Module: res.Module, Artifacts: arts}
 	// Best-effort: a full disk or unwritable store must not fail the
 	// build (the store's own error counter records it). Keys are
 	// marked stored only on success, so a transient write failure is
 	// retried on the next rebuild of the design.
-	if d.Disk.Put(key, &cache.Entry{Module: res.Module, Artifacts: arts}) == nil {
+	stored := true
+	if d.Disk != nil {
+		stored = d.Disk.Put(key, ce) == nil
+	}
+	if d.Remote != nil {
+		d.Remote.Put(key, ce)
+	}
+	if stored {
 		entry.markStored(want)
 	}
 }

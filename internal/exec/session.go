@@ -54,8 +54,15 @@ func (s *Session) add(id string, e *sessionEntry) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id == "" {
-		id = fmt.Sprintf("m%d", s.nextID)
-		s.nextID++
+		// Skip ids already taken explicitly: Open("m0", ...) followed
+		// by Open("", ...) must allocate the next free id, not collide.
+		for {
+			id = fmt.Sprintf("m%d", s.nextID)
+			s.nextID++
+			if _, taken := s.entries[id]; !taken {
+				break
+			}
+		}
 	}
 	if _, dup := s.entries[id]; dup {
 		return "", fmt.Errorf("session: machine %q already exists", id)

@@ -190,3 +190,49 @@ func TestSessionConcurrentForks(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSessionAutoIDSkipsTakenIDs is the regression test for the
+// auto-id collision: Open("m0", ...) followed by Open("", ...) used to
+// fail with `machine "m0" already exists` instead of allocating the
+// next free id.
+func TestSessionAutoIDSkipsTakenIDs(t *testing.T) {
+	abro := buildDesign(t, "abro.ecl", paperex.ABRO, "abro")
+	s := NewSession()
+
+	if _, err := s.Open("m0", "efsm", abro); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("m2", "efsm", abro); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Open("", "efsm", abro)
+	if err != nil {
+		t.Fatalf("auto-id Open collided with an explicit id: %v", err)
+	}
+	if id != "m1" {
+		t.Fatalf("auto id = %q, want m1 (the first free slot)", id)
+	}
+	// The allocator must also skip over m2 on the next request.
+	id, err = s.Open("", "efsm", abro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "m3" {
+		t.Fatalf("auto id = %q, want m3", id)
+	}
+	// Forking into an auto id obeys the same rule.
+	if _, err := s.Open("m4", "efsm", abro); err != nil {
+		t.Fatal(err)
+	}
+	id, err = s.Fork("m0", "")
+	if err != nil {
+		t.Fatalf("fork with auto dst collided: %v", err)
+	}
+	if id != "m5" {
+		t.Fatalf("forked auto id = %q, want m5", id)
+	}
+	// Explicit duplicates still fail loudly.
+	if _, err := s.Open("m0", "efsm", abro); err == nil {
+		t.Fatal("duplicate explicit id did not error")
+	}
+}

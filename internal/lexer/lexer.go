@@ -260,7 +260,9 @@ func (l *Lexer) scanNumber(start int) token.Token {
 func (l *Lexer) scanChar(start int) token.Token {
 	l.off++ // opening quote
 	for l.off < len(l.src) && l.src[l.off] != '\'' && l.src[l.off] != '\n' {
-		if l.src[l.off] == '\\' {
+		// A backslash consumes the escaped byte too — unless it is the
+		// file's last byte, which would walk off past len(src).
+		if l.src[l.off] == '\\' && l.off+1 < len(l.src) {
 			l.off++
 		}
 		l.off++
@@ -276,7 +278,9 @@ func (l *Lexer) scanChar(start int) token.Token {
 func (l *Lexer) scanString(start int) token.Token {
 	l.off++ // opening quote
 	for l.off < len(l.src) && l.src[l.off] != '"' && l.src[l.off] != '\n' {
-		if l.src[l.off] == '\\' {
+		// A backslash consumes the escaped byte too — unless it is the
+		// file's last byte, which would walk off past len(src).
+		if l.src[l.off] == '\\' && l.off+1 < len(l.src) {
 			l.off++
 		}
 		l.off++

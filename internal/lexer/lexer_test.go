@@ -212,3 +212,21 @@ func TestPropertyLexConcat(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTrailingBackslashInLiteral is the regression test for the fuzz
+// crasher "\"\\0\\": a string or char literal whose final byte is a
+// backslash escape used to walk the scanner past len(src) and panic
+// slicing the literal. It must lex as an unterminated-literal
+// diagnostic instead.
+func TestTrailingBackslashInLiteral(t *testing.T) {
+	for _, src := range []string{"\"\\0\\", "'\\", "\"abc\\", "'x\\"} {
+		var diags source.DiagList
+		toks := All(source.NewFile("t.ecl", src), &diags)
+		if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+			t.Fatalf("%q: lexer did not reach EOF", src)
+		}
+		if !diags.HasErrors() {
+			t.Errorf("%q: no unterminated-literal diagnostic", src)
+		}
+	}
+}

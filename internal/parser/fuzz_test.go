@@ -1,11 +1,33 @@
 package parser
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/paperex"
 	"repro/internal/source"
 )
+
+// seedExamples widens the corpus with every shipped example (ROADMAP:
+// the .ecl corpus under examples/), so fuzzing mutates real designs —
+// protocol stacks, preemption nests — not just the paper figures.
+func seedExamples(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.ecl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example corpus found; did examples/ move?")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParse feeds arbitrary text to the parser (seeded from the
 // paper-example corpus) and asserts it never panics — every failure
@@ -19,6 +41,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("module m (input pure a) { await (a); }")
 	f.Add("module m (") // truncated
 	f.Add("x \x00 \xff ?")
+	seedExamples(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {
 			t.Skip("oversized input")

@@ -136,6 +136,9 @@ const (
 	StatusMemHit Status = "mem-hit"
 	// StatusDiskHit: decoded from the persistent v2 phase store.
 	StatusDiskHit Status = "disk-hit"
+	// StatusRemoteHit: fetched from the shared remote cache tier (and
+	// written through to the local tiers).
+	StatusRemoteHit Status = "remote-hit"
 	// StatusDesignHit: the whole request was served from the design-level
 	// cache (memory or v1 disk), so the phase was never consulted
 	// individually. Set by the driver, not the Runner.
@@ -153,7 +156,7 @@ type PhaseResult struct {
 
 // PhaseCounts aggregates one phase's traffic across requests.
 type PhaseCounts struct {
-	MemHits, DiskHits, Rebuilds, Failures int64
+	MemHits, DiskHits, RemoteHits, Rebuilds, Failures int64
 }
 
 // PhaseStats maps each phase to its aggregated traffic.
@@ -185,13 +188,19 @@ type Result struct {
 	ErrPhase  Phase
 }
 
-// Runner walks the phase graph with two snapshot tiers: an in-process
-// map and the persistent store's v2 subtree. The zero value runs
-// uncached; a Runner is safe for concurrent use.
+// Runner walks the phase graph with three snapshot tiers: an
+// in-process map, the persistent store's v2 subtree, and an optional
+// shared remote tier. The zero value runs uncached; a Runner is safe
+// for concurrent use.
 type Runner struct {
 	// Disk is the persistent phase-snapshot tier (nil: memory only).
 	Disk *cache.Store
-	// NoCache disables both tiers (every phase rebuilds).
+	// Remote is the shared cache tier behind the disk tier (nil: none).
+	// Remote hits are written through to Disk and memory; fresh
+	// snapshots are uploaded best-effort (the remote client queues them
+	// asynchronously).
+	Remote cache.Tier
+	// NoCache disables every tier (every phase rebuilds).
 	NoCache bool
 
 	mu     sync.Mutex
@@ -227,6 +236,8 @@ func (r *Runner) count(ph Phase, st Status) {
 		c.MemHits++
 	case StatusDiskHit:
 		c.DiskHits++
+	case StatusRemoteHit:
+		c.RemoteHits++
 	case StatusRebuilt:
 		c.Rebuilds++
 	case StatusFailed:
@@ -236,7 +247,8 @@ func (r *Runner) count(ph Phase, st Status) {
 }
 
 // getSnap fetches a phase snapshot: memory first, then the v2 disk
-// subtree (populating memory on a hit). ok=false is a miss.
+// subtree, then the shared remote tier — populating the nearer tiers
+// on a hit. ok=false is a miss.
 func (r *Runner) getSnap(key string, want []string) (map[string]string, Status, bool) {
 	if r.NoCache || key == "" {
 		return nil, "", false
@@ -262,19 +274,29 @@ func (r *Runner) getSnap(key string, want []string) (map[string]string, Status, 
 	if out != nil {
 		return out, StatusMemHit, true
 	}
-	if r.Disk == nil {
-		return nil, "", false
+	if r.Disk != nil {
+		if e, ok := r.Disk.GetPhase(key, want); ok {
+			r.remember(key, e.Blobs, true)
+			return e.Blobs, StatusDiskHit, true
+		}
 	}
-	e, ok := r.Disk.GetPhase(key, want)
-	if !ok {
-		return nil, "", false
+	if r.Remote != nil {
+		if e, ok := r.Remote.GetPhase(key, want); ok {
+			// Read through: the next build of this machine should be a
+			// local disk hit, not another network round trip.
+			if r.Disk != nil {
+				r.Disk.PutPhase(key, e)
+			}
+			r.remember(key, e.Blobs, true)
+			return e.Blobs, StatusRemoteHit, true
+		}
 	}
-	r.remember(key, e.Blobs, true)
-	return e.Blobs, StatusDiskHit, true
+	return nil, "", false
 }
 
-// putSnap records a freshly built snapshot in both tiers (best-effort
-// on disk: a full or unwritable store never fails the build).
+// putSnap records a freshly built snapshot in every tier (best-effort
+// beyond memory: a full disk or dead remote never fails the build; the
+// remote client uploads asynchronously).
 func (r *Runner) putSnap(ph Phase, key string, blobs map[string]string) {
 	if r.NoCache || key == "" || len(blobs) == 0 {
 		return
@@ -282,6 +304,9 @@ func (r *Runner) putSnap(ph Phase, key string, blobs map[string]string) {
 	persisted := false
 	if r.Disk != nil {
 		persisted = r.Disk.PutPhase(key, &cache.PhaseEntry{Phase: string(ph), Blobs: blobs}) == nil
+	}
+	if r.Remote != nil {
+		r.Remote.PutPhase(key, &cache.PhaseEntry{Phase: string(ph), Blobs: blobs})
 	}
 	r.remember(key, blobs, persisted)
 }
