@@ -15,6 +15,7 @@ package ecl
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/paperex"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/simd"
 )
 
 // benchPackets scales the stack workload for benchmarking (the paper's
@@ -555,6 +557,102 @@ func BenchmarkStepPacket(b *testing.B) {
 			b.ReportMetric(float64(paperex.PktSize), "instants/op")
 		})
 	}
+}
+
+// benchDaemon serves an execution daemon from an httptest server and
+// returns a dialed client.
+func benchDaemon(b *testing.B) *simd.Client {
+	b.Helper()
+	store, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := driver.New(0)
+	d.Disk = store
+	daemon, err := simd.New(simd.Config{Driver: d, Store: store})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(daemon.Close)
+	srv := httptest.NewServer(daemon)
+	b.Cleanup(srv.Close)
+	c, err := simd.Dial(srv.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkDaemonStepsPerSecond measures daemon step throughput per
+// wire strategy. One op is 64 executed instants in both variants:
+// "single" spends 64 round trips on them (one instant per request),
+// "batch64" one round trip of 64 instants. The gap is the daemon's
+// reason for batched stepping — the acceptance bar is batch64 at >= 5x
+// the steps/sec of single.
+func BenchmarkDaemonStepsPerSecond(b *testing.B) {
+	const batch = 64
+	in := map[string]string{"A": ""}
+	for _, mode := range []string{"single", "batch64"} {
+		b.Run(mode, func(b *testing.B) {
+			c := benchDaemon(b)
+			info, err := c.Open(simd.OpenRequest{Path: "abro.ecl", Source: paperex.ABRO})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs := make([]map[string]string, batch)
+			for i := range inputs {
+				inputs[i] = in
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "single" {
+					for j := 0; j < batch; j++ {
+						if _, err := c.StepEvents(info.ID, inputs[:1]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					if _, err := c.StepEvents(info.ID, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}
+
+// BenchmarkDaemonSessionsPerSecond measures session churn: open a
+// machine over an (instantly cache-hit) design, step it once, close it
+// — the daemon-side cost of a short-lived tenant.
+func BenchmarkDaemonSessionsPerSecond(b *testing.B) {
+	c := benchDaemon(b)
+	// Warm the compile cache so churn measures session plumbing, not
+	// compilation.
+	info, err := c.Open(simd.OpenRequest{Path: "abro.ecl", Source: paperex.ABRO})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Close(info.ID); err != nil {
+		b.Fatal(err)
+	}
+	one := []map[string]string{{"A": ""}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := c.Open(simd.OpenRequest{Path: "abro.ecl", Source: paperex.ABRO})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.StepEvents(info.ID, one); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(info.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
 }
 
 // BenchmarkSessionFork measures snapshot forking: branching a running

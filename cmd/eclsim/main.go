@@ -9,7 +9,8 @@
 // Usage:
 //
 //	eclsim [-module name] [-backend interp|efsm|efsm-min|sim] [-n instants]
-//	       [-script file] [-trace out.jsonl] [-replay in.jsonl] file.ecl
+//	       [-script file] [-trace out.jsonl] [-replay in.jsonl]
+//	       [-connect URL [-batch n]] file.ecl
 //
 // Without a script, eclsim runs -n idle instants (useful for modules
 // driven by empty await() delta cycles). -trace records the run as a
@@ -19,6 +20,13 @@
 // replay that does not reproduce the recording exits non-zero and
 // prints the first diverging instant (also when one trace is a strict
 // prefix of the other), so CI can gate on it directly.
+//
+// With -connect, eclsim executes nothing locally: it ships the source
+// file to a running eclsimd daemon, opens a machine there, and steps it
+// in batches of -batch instants per round trip. Scripts, -trace, and
+// -replay work identically in this mode — the daemon speaks the
+// canonical trace encoding on the wire, so a recorded daemon run and a
+// local run are the same artifact.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"repro/internal/cval"
 	"repro/internal/driver"
 	"repro/internal/exec"
+	"repro/internal/simd"
 )
 
 func main() {
@@ -45,6 +54,8 @@ func main() {
 	tracePath := flag.String("trace", "", "record the run as a JSONL trace to this file")
 	replayPath := flag.String("replay", "", "replay a recorded JSONL trace and diff the outputs")
 	n := flag.Int("n", 10, "idle instants to run when no script is given")
+	connect := flag.String("connect", "", "drive a running eclsimd daemon at this URL instead of executing locally")
+	batch := flag.Int("batch", 64, "instants per daemon round trip in -connect mode")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -56,6 +67,12 @@ func main() {
 	if name == "" && *mode != "" {
 		fmt.Fprintln(os.Stderr, "eclsim: -mode is deprecated, use -backend")
 		name = *mode
+	}
+	if *connect != "" {
+		// Connected mode: the daemon compiles and executes; an empty
+		// backend name defers to the daemon's default.
+		runConnected(*connect, flag.Arg(0), *module, name, *script, *tracePath, *replayPath, *n, *batch)
+		return
 	}
 	if name == "" {
 		name = "efsm"
@@ -127,6 +144,97 @@ func main() {
 	}
 }
 
+// runConnected drives a machine living on an eclsimd daemon instead of
+// executing locally: open with the source shipped inline, step the
+// script (or replay a recorded trace) in batches, close. The daemon
+// answers in the canonical trace encoding, so the printed instants and
+// any -trace file match what a local run would produce.
+func runConnected(daemonURL, path, module, backend, script, tracePath, replayPath string, n, batch int) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := simd.Dial(daemonURL)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := c.Open(simd.OpenRequest{
+		Path:    filepath.Base(path),
+		Source:  string(src),
+		Module:  module,
+		Backend: backend,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close(info.ID)
+
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			fatal(err)
+		}
+		recorded, err := exec.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		inputs := make([]map[string]string, len(recorded.Events))
+		for i, ev := range recorded.Events {
+			inputs[i] = ev.Inputs
+		}
+		events, err := c.StepAll(info.ID, inputs, batch)
+		if err != nil {
+			fatal(err)
+		}
+		got := &exec.Trace{Version: exec.TraceVersion, Module: info.Module, Backend: info.Backend, Events: events}
+		reportDiff(recorded, got, info.Backend+" (daemon)")
+		return
+	}
+
+	var lines []string
+	if script != "" {
+		f, err := os.Open(script)
+		if err != nil {
+			fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		f.Close()
+	} else {
+		lines = make([]string, n)
+	}
+	inputs := make([]map[string]string, len(lines))
+	for i, line := range lines {
+		in, err := simd.ParseScriptInstant(info.Inputs, line)
+		if err != nil {
+			fatal(fmt.Errorf("script line %d: %w", i+1, err))
+		}
+		inputs[i] = in
+	}
+	events, stepErr := c.StepAll(info.ID, inputs, batch)
+	for _, ev := range events {
+		fmt.Printf("instant %3d: in=[%s] out=[%s]\n", ev.Instant,
+			exec.ObservationString(ev.Inputs, false),
+			exec.ObservationString(ev.Outputs, false))
+	}
+	if stepErr != nil {
+		fatal(stepErr)
+	}
+	if len(events) > 0 && events[len(events)-1].Terminated {
+		fmt.Println("program terminated")
+	}
+	if tracePath != "" {
+		t := &exec.Trace{Version: exec.TraceVersion, Module: info.Module, Backend: info.Backend, Events: events}
+		if err := writeFileAtomic(tracePath, t.Encode); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eclsim: trace (%d instants) written to %s\n", len(t.Events), tracePath)
+	}
+}
+
 // writeFileAtomic streams write into a temp file next to path and
 // renames it into place — the same discipline as internal/cache — so a
 // mid-encode failure (full disk, crash) can never leave a truncated,
@@ -178,19 +286,25 @@ func replay(m exec.Machine, path string) {
 	if err != nil {
 		fatal(err)
 	}
+	reportDiff(recorded, got, m.Backend())
+}
+
+// reportDiff diffs a replay against its recording, exiting non-zero
+// (with the first diverging instant) on mismatch.
+func reportDiff(recorded, got *exec.Trace, backend string) {
 	if err := exec.Diff(recorded, got); err != nil {
 		var de *exec.DiffError
 		if errors.As(err, &de) {
 			fmt.Fprintf(os.Stderr, "eclsim: replay diverged at instant %d (%s vs %s):\n  recorded: [%s]\n  got:      [%s]\n",
-				de.Instant, recorded.Backend, m.Backend(), de.A, de.B)
+				de.Instant, recorded.Backend, backend, de.A, de.B)
 		} else {
 			fmt.Fprintf(os.Stderr, "eclsim: replay diverged (%s vs %s): %v\n",
-				recorded.Backend, m.Backend(), err)
+				recorded.Backend, backend, err)
 		}
 		os.Exit(1)
 	}
 	fmt.Printf("replay ok: %d instants, %s trace reproduced on %s\n",
-		len(recorded.Events), recorded.Backend, m.Backend())
+		len(recorded.Events), recorded.Backend, backend)
 }
 
 func formatOut(name string, v cval.Value) string {

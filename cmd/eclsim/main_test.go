@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -182,5 +184,80 @@ func TestTraceBinaryWritesReplayableFile(t *testing.T) {
 	// half-written anywhere under it.
 	if out, err := exec.Command(exe, "-n", "1", "-trace", filepath.Join(dir, "missing", "t.jsonl"), abro).CombinedOutput(); err == nil {
 		t.Fatalf("write into a missing directory exited zero:\n%s", out)
+	}
+}
+
+// TestConnectModeAgainstDaemon drives the full remote loop with the
+// real binaries: eclsim -connect ships the source to a running
+// eclsimd, steps a script in batches, records the conversation as a
+// trace — and that trace must replay clean both locally and back
+// through the daemon.
+func TestConnectModeAgainstDaemon(t *testing.T) {
+	exe := buildEclsim(t)
+	daemon := filepath.Join(t.TempDir(), "eclsimd")
+	if out, err := exec.Command("go", "build", "-o", daemon, "repro/cmd/eclsimd").CombinedOutput(); err != nil {
+		t.Skipf("go build unavailable: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+	abro, err := filepath.Abs("../../examples/abro.ecl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(daemon, "-addr", "127.0.0.1:0", "-cache-dir", t.TempDir())
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	var url string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if m := regexp.MustCompile(`serving on (127\.0\.0\.1:\d+)$`).FindStringSubmatch(sc.Text()); m != nil {
+			url = "http://" + m[1]
+			break
+		}
+	}
+	if url == "" {
+		t.Fatal("eclsimd never announced its address")
+	}
+
+	script := filepath.Join(dir, "in.script")
+	if err := os.WriteFile(script, []byte("\nA\nB\n\nR\nA B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "run.jsonl")
+	out, err := exec.Command(exe, "-connect", url, "-batch", "2",
+		"-script", script, "-trace", trace, abro).CombinedOutput()
+	if err != nil {
+		t.Fatalf("connect run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "out=[O]") {
+		t.Fatalf("AB did not emit O through the daemon:\n%s", out)
+	}
+
+	// The daemon conversation is a replayable trace: locally...
+	if out, err := exec.Command(exe, "-backend", "interp", "-replay", trace, abro).CombinedOutput(); err != nil {
+		t.Fatalf("local replay of daemon trace failed: %v\n%s", err, out)
+	}
+	// ...and back through the daemon itself.
+	if out, err := exec.Command(exe, "-connect", url, "-replay", trace, abro).CombinedOutput(); err != nil {
+		t.Fatalf("daemon replay of daemon trace failed: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "replay ok") {
+		t.Fatalf("daemon replay output:\n%s", out)
+	}
+
+	// A script naming a non-input must fail with the valid input list.
+	bad := filepath.Join(dir, "bad.script")
+	if err := os.WriteFile(bad, []byte("NOPE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(exe, "-connect", url, "-script", bad, abro).CombinedOutput(); err == nil {
+		t.Fatalf("bad script exited zero:\n%s", out)
+	} else if !strings.Contains(string(out), "unknown input") {
+		t.Fatalf("bad script error:\n%s", out)
 	}
 }

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	ex "repro/internal/exec"
+	"repro/internal/paperex"
+	"repro/internal/simd"
+
+	"repro/internal/driver"
+)
+
+// build compiles one of this repo's commands into dir.
+func build(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	exe := filepath.Join(dir, name)
+	out, err := exec.Command("go", "build", "-o", exe, pkg).CombinedOutput()
+	if err != nil {
+		t.Skipf("go build unavailable: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// startDaemon launches eclsimd on an ephemeral port and returns its
+// announced URL.
+func startDaemon(t *testing.T, exe string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-cache-dir", t.TempDir()}, extra...)
+	cmd := exec.Command(exe, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	line := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			l := sc.Text()
+			if regexp.MustCompile(`serving on`).MatchString(l) {
+				line <- l
+				break
+			}
+		}
+		close(line)
+	}()
+	select {
+	case l := <-line:
+		m := regexp.MustCompile(`on (127\.0\.0\.1:\d+)$`).FindStringSubmatch(l)
+		if m == nil {
+			t.Fatalf("eclsimd announced %q, no address", l)
+		}
+		return "http://" + m[1]
+	case <-time.After(30 * time.Second):
+		t.Fatal("eclsimd never announced its address")
+	}
+	panic("unreachable")
+}
+
+// TestDaemonDogfood is the CI dogfood flow against the real binary: 50
+// concurrent sessions of reactive workloads driven through batched
+// stepping, every conversation transcribed as a trace and replayed
+// clean against the oracle interpreter.
+func TestDaemonDogfood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary end-to-end test")
+	}
+	dir := t.TempDir()
+	url := startDaemon(t, build(t, dir, "repro/cmd/eclsimd", "eclsimd"),
+		"-max-sessions", "20") // force LRU eviction churn under the 50 sessions
+
+	// Compile the two workloads locally once, for the replay oracles.
+	d := driver.New(0)
+	oracle := map[string]driver.Result{}
+	workloads := map[string]struct{ src, module string }{
+		"abro":  {paperex.ABRO, "abro"},
+		"stack": {paperex.Stack, "toplevel"},
+	}
+	for name, w := range workloads {
+		res := d.BuildOne(driver.Request{Path: name + ".ecl", Source: w.src, Module: w.module})
+		if res.Failed() {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		oracle[name] = res
+	}
+
+	c, err := simd.Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := "abro"
+			if w%2 == 1 {
+				name = "stack"
+			}
+			wl := workloads[name]
+			info, err := c.Open(simd.OpenRequest{Path: name + ".ecl", Source: wl.src, Module: wl.module})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close(info.ID)
+			rng := rand.New(rand.NewSource(int64(w)))
+			var inputs []map[string]string
+			for i := 0; i < 120; i++ {
+				in := map[string]string{}
+				if name == "abro" {
+					for _, sig := range []string{"A", "B", "R"} {
+						if rng.Intn(2) == 1 {
+							in[sig] = ""
+						}
+					}
+				} else {
+					if rng.Intn(4) != 0 {
+						in["in_byte"] = simd.EncodeIntValue(1, int64(rng.Intn(256)))
+					}
+					if rng.Intn(25) == 0 {
+						in["reset"] = ""
+					}
+				}
+				inputs = append(inputs, in)
+			}
+			events, err := c.StepAll(info.ID, inputs, 24)
+			if err != nil {
+				errs <- fmt.Errorf("session %d (%s): %w", w, name, err)
+				return
+			}
+			// The conversation, read back as a trace, must replay clean
+			// on the oracle interpreter.
+			trace := &ex.Trace{Version: ex.TraceVersion, Module: info.Module, Backend: info.Backend, Events: events}
+			m, err := ex.Open("interp", oracle[name].Design)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := ex.Replay(m, trace)
+			if err != nil {
+				errs <- fmt.Errorf("session %d (%s): replay: %w", w, name, err)
+				return
+			}
+			if err := ex.Diff(trace, got); err != nil {
+				errs <- fmt.Errorf("session %d (%s): daemon diverged from interp: %w", w, name, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != sessions*120 {
+		t.Errorf("daemon ran %d steps, want %d", st.Steps, sessions*120)
+	}
+	if st.Opens != sessions || st.Closes != sessions {
+		t.Errorf("opens/closes = %d/%d, want %d/%d", st.Opens, st.Closes, sessions, sessions)
+	}
+	// 50 sessions against a 20-resident bound must have exercised the
+	// evict/revive path, and every revival must have succeeded.
+	if st.Evictions == 0 {
+		t.Error("no evictions despite max-sessions pressure")
+	}
+	if st.Errors != 0 {
+		t.Errorf("daemon reported %d errors", st.Errors)
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/lower"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/simd"
 	"repro/internal/source"
 )
 
@@ -273,6 +274,55 @@ func DiffTraces(a, b *Trace) error { return exec.Diff(a, b) }
 
 // ReadTrace parses a JSONL trace.
 func ReadTrace(r io.Reader) (*Trace, error) { return exec.ReadTrace(r) }
+
+// SessionInfo describes one session machine's identity, interface, and
+// progress.
+type SessionInfo = exec.MachineInfo
+
+// EncodeSnapshot serializes a machine's snapshot as a portable JSON
+// blob (trace-style hex values) that DecodeSnapshot — possibly in
+// another process — turns back into a restorable state. Backends
+// without portable snapshots (sim) report ErrUnsupported.
+func EncodeSnapshot(m Machine, snap exec.Snapshot, instant int) ([]byte, error) {
+	return exec.EncodeSnapshot(m, snap, instant)
+}
+
+// DecodeSnapshot parses an EncodeSnapshot blob against a fresh machine
+// of the same backend and module, returning the snapshot to Restore
+// and the instant count it was taken at.
+func DecodeSnapshot(m Machine, data []byte) (exec.Snapshot, int, error) {
+	return exec.DecodeSnapshot(m, data)
+}
+
+// Daemon serves multi-tenant execution over HTTP — many concurrently
+// stepping Session machines with batched stepping, idle-session
+// eviction into the build cache, and transparent revival. The eclsimd
+// binary is a thin main around it.
+type Daemon = simd.Daemon
+
+// DaemonConfig assembles a Daemon.
+type DaemonConfig = simd.Config
+
+// DaemonClient drives a Daemon over HTTP (the library behind
+// eclsim -connect).
+type DaemonClient = simd.Client
+
+// DaemonOpenRequest asks a Daemon to compile a design and open a
+// machine over it.
+type DaemonOpenRequest = simd.OpenRequest
+
+// DaemonMachineInfo describes one daemon machine.
+type DaemonMachineInfo = simd.MachineInfo
+
+// DaemonStats is a Daemon's /statsz payload.
+type DaemonStats = simd.Stats
+
+// NewDaemon assembles an execution daemon; serve it with http.Serve.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return simd.New(cfg) }
+
+// DialDaemon returns a client for the execution daemon at url (an
+// eclsimd instance).
+func DialDaemon(url string) (*DaemonClient, error) { return simd.Dial(url) }
 
 // Table1Config sizes the Table 1 workloads.
 type Table1Config = sim.Table1Config

@@ -357,6 +357,44 @@ func (s *Store) PutPhaseManifest(key, phase string, hashes map[string]string) er
 	return nil
 }
 
+// SnapshotPhase is the pseudo-phase name session snapshots are filed
+// under in the v2 subtree, and snapshotBlobName the single blob each
+// snapshot manifest references. Storing evicted execution sessions as
+// ordinary phase entries means they inherit everything the subtree
+// already guarantees: hash-verified reads, corrupt-entry repair, LRU
+// GC, and a line in the `eclc cache stats` phase inventory.
+const (
+	SnapshotPhase    = "session-snapshot"
+	snapshotBlobName = "snapshot"
+)
+
+// PutSnapshot stores a serialized execution-session snapshot (an
+// exec.SnapshotBlob encoding) and returns the content-derived key that
+// retrieves it.
+func (s *Store) PutSnapshot(blob []byte) (string, error) {
+	sum := sha256.Sum256(blob)
+	key := hex.EncodeToString(sum[:])
+	err := s.PutPhase(key, &PhaseEntry{
+		Phase: SnapshotPhase,
+		Blobs: map[string]string{snapshotBlobName: string(blob)},
+	})
+	if err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// GetSnapshot retrieves a snapshot stored by PutSnapshot. Like every
+// store read, a missing, corrupt, or truncated entry is a miss, never
+// an error.
+func (s *Store) GetSnapshot(key string) ([]byte, bool) {
+	e, ok := s.GetPhase(key, []string{snapshotBlobName})
+	if !ok || e.Phase != SnapshotPhase {
+		return nil, false
+	}
+	return []byte(e.Blobs[snapshotBlobName]), true
+}
+
 // PhaseInfo summarizes one pipeline phase's footprint in the v2
 // subtree.
 type PhaseInfo struct {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/httpjson"
 )
 
 // Server serves the remote cache protocol over an ordinary on-disk
@@ -54,8 +55,7 @@ func NewServer(store *cache.Store) *Server {
 			ManifestPuts: s.manifestPuts.Load(), BlobPuts: s.blobPuts.Load(),
 		}
 		st.StoreBytes, st.StoreEntries, _ = store.Size()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(st)
+		httpjson.Write(w, http.StatusOK, st)
 	})
 	s.mux.HandleFunc("GET /{version}/blobs/{hash}", s.blobGet)
 	s.mux.HandleFunc("HEAD /{version}/blobs/{hash}", s.blobHead)
@@ -188,8 +188,7 @@ func (s *Server) manifestGet(w http.ResponseWriter, r *http.Request) {
 		m = wireManifest{Phase: phase, Blobs: blobs}
 	}
 	s.manifestHits.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(m)
+	httpjson.Write(w, http.StatusOK, m)
 }
 
 func (s *Server) manifestPut(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,90 @@
+package efsm
+
+import (
+	"fmt"
+
+	"repro/internal/cval"
+	"repro/internal/kernel"
+)
+
+// PortableSnapshot is the pointer-free form of a runtime Snapshot: the
+// control state by its ID, variables and signal values by name with
+// raw big-endian bytes. A runtime over the same compiled Machine (even
+// in a different process, as long as the machine was compiled from the
+// same source) rebinds the names to its own identities and continues
+// exactly where the snapshot left off.
+type PortableSnapshot struct {
+	// StateID is the current control state's Machine-assigned ID.
+	StateID int
+	// Done mirrors the runtime's termination flag.
+	Done bool
+	// Vars maps variable names to their raw value bytes.
+	Vars map[string][]byte
+	// Sigs maps valued-signal names to their stored value bytes.
+	Sigs map[string][]byte
+}
+
+// Portable converts a snapshot to its name-keyed form.
+func (s *Snapshot) Portable() *PortableSnapshot {
+	p := &PortableSnapshot{
+		StateID: s.cur.ID,
+		Done:    s.done,
+		Vars:    make(map[string][]byte, len(s.vars)),
+		Sigs:    make(map[string][]byte, len(s.sigVals)),
+	}
+	for v, val := range s.vars {
+		p.Vars[v.Name] = append([]byte(nil), val.B...)
+	}
+	for sig, val := range s.sigVals {
+		p.Sigs[sig.Name] = append([]byte(nil), val.B...)
+	}
+	return p
+}
+
+// SnapshotFromPortable rebinds a portable snapshot's names to this
+// runtime's machine, validating that the state ID exists and that
+// every store the runtime owns is covered with bytes of the declared
+// size. The result restores into this runtime (or any runtime over the
+// same Machine).
+func (rt *Runtime) SnapshotFromPortable(p *PortableSnapshot) (*Snapshot, error) {
+	var cur *State
+	for _, st := range rt.M.States {
+		if st.ID == p.StateID {
+			cur = st
+			break
+		}
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("efsm: portable snapshot: no state %d in machine %s", p.StateID, rt.M.Name)
+	}
+	s := &Snapshot{
+		owner:   rt.M,
+		cur:     cur,
+		done:    p.Done,
+		vars:    make(map[*kernel.Var]cval.Value, len(rt.vars)),
+		sigVals: make(map[*kernel.Signal]cval.Value, len(rt.sigVals)),
+	}
+	for v := range rt.vars {
+		b, ok := p.Vars[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("efsm: portable snapshot: no value for variable %s", v.Name)
+		}
+		if len(b) != v.Type.Size() {
+			return nil, fmt.Errorf("efsm: portable snapshot: variable %s: %d bytes for %s (want %d)",
+				v.Name, len(b), v.Type, v.Type.Size())
+		}
+		s.vars[v] = cval.Value{Type: v.Type, B: append([]byte(nil), b...)}
+	}
+	for sig := range rt.sigVals {
+		b, ok := p.Sigs[sig.Name]
+		if !ok {
+			return nil, fmt.Errorf("efsm: portable snapshot: no value for signal %s", sig.Name)
+		}
+		if len(b) != sig.Type.Size() {
+			return nil, fmt.Errorf("efsm: portable snapshot: signal %s: %d bytes for %s (want %d)",
+				sig.Name, len(b), sig.Type, sig.Type.Size())
+		}
+		s.sigVals[sig] = cval.Value{Type: sig.Type, B: append([]byte(nil), b...)}
+	}
+	return s, nil
+}

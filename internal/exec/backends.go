@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -90,6 +91,32 @@ func (im *interpMachine) Reset() error {
 
 func (im *interpMachine) Snapshot() (Snapshot, error) { return im.m.Snapshot(), nil }
 
+func (im *interpMachine) encodeSnapshot(s Snapshot) (*SnapshotBlob, error) {
+	snap, ok := s.(*interp.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("exec: interp: cannot encode %T", s)
+	}
+	p := snap.Portable()
+	return &SnapshotBlob{
+		State: p.State, Started: p.Started, Done: p.Done,
+		Vars: encodeByteMap(p.Vars), Sigs: encodeByteMap(p.Sigs),
+	}, nil
+}
+
+func (im *interpMachine) decodeSnapshot(b *SnapshotBlob) (Snapshot, error) {
+	vars, err := decodeByteMap(b.Vars)
+	if err != nil {
+		return nil, fmt.Errorf("exec: interp: snapshot blob: %w", err)
+	}
+	sigs, err := decodeByteMap(b.Sigs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: interp: snapshot blob: %w", err)
+	}
+	return im.m.SnapshotFromPortable(&interp.PortableSnapshot{
+		State: b.State, Started: b.Started, Done: b.Done, Vars: vars, Sigs: sigs,
+	})
+}
+
 func (im *interpMachine) Restore(s Snapshot) error {
 	snap, ok := s.(*interp.Snapshot)
 	if !ok {
@@ -144,6 +171,36 @@ func (em *efsmMachine) Reset() error {
 }
 
 func (em *efsmMachine) Snapshot() (Snapshot, error) { return em.rt.Snapshot(), nil }
+
+func (em *efsmMachine) encodeSnapshot(s Snapshot) (*SnapshotBlob, error) {
+	snap, ok := s.(*efsm.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("exec: %s: cannot encode %T", em.name, s)
+	}
+	p := snap.Portable()
+	return &SnapshotBlob{
+		State: strconv.Itoa(p.StateID), Done: p.Done,
+		Vars: encodeByteMap(p.Vars), Sigs: encodeByteMap(p.Sigs),
+	}, nil
+}
+
+func (em *efsmMachine) decodeSnapshot(b *SnapshotBlob) (Snapshot, error) {
+	stateID, err := strconv.Atoi(b.State)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: snapshot blob: bad state %q", em.name, b.State)
+	}
+	vars, err := decodeByteMap(b.Vars)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: snapshot blob: %w", em.name, err)
+	}
+	sigs, err := decodeByteMap(b.Sigs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s: snapshot blob: %w", em.name, err)
+	}
+	return em.rt.SnapshotFromPortable(&efsm.PortableSnapshot{
+		StateID: stateID, Done: b.Done, Vars: vars, Sigs: sigs,
+	})
+}
 
 func (em *efsmMachine) Restore(s Snapshot) error {
 	snap, ok := s.(*efsm.Snapshot)

@@ -30,6 +30,20 @@ type sessionEntry struct {
 	design  *core.Design
 	m       Machine
 	instant int
+	// closed marks an entry whose machine has been shut down (Close or
+	// Evict). It is guarded by mu, so setting it serializes with any
+	// in-flight Step/Fork/Reset on the same machine, and every
+	// operation that acquires mu afterwards fails cleanly instead of
+	// running against a machine its owner believes gone.
+	closed bool
+}
+
+// guard reports the closed state; call with e.mu held.
+func (e *sessionEntry) guard(id string) error {
+	if e.closed {
+		return fmt.Errorf("session: machine %q is closed", id)
+	}
+	return nil
 }
 
 // NewSession returns an empty session.
@@ -90,12 +104,86 @@ func (s *Session) Step(id string, inputs map[string]cval.Value) (*Result, error)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return nil, err
+	}
 	res, err := e.m.Step(inputs)
 	if err != nil {
 		return nil, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
 	}
 	e.instant++
 	return res, nil
+}
+
+// StepBatch runs the machine through the input instants under one
+// lock acquisition — the building block of the daemon's batched
+// stepping, where the round trip rather than the step dominates.
+// Stepping stops after the instant in which the program terminates
+// (that instant's result is included). On a step error the results of
+// the instants that did execute are returned alongside it.
+func (s *Session) StepBatch(id string, batch []map[string]cval.Value) ([]*Result, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(batch))
+	for _, in := range batch {
+		res, err := e.m.Step(in)
+		if err != nil {
+			return results, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
+		}
+		e.instant++
+		results = append(results, res)
+		if res.Terminated {
+			break
+		}
+	}
+	return results, nil
+}
+
+// StepEvents is StepBatch at the wire level: input instants arrive as
+// encoded trace-event input maps, and each executed instant comes back
+// as a full canonical trace Event (numbered by the machine's own
+// instant counter) — so a daemon conversation transcribed as JSONL is
+// literally a replayable trace. Events produced before a decode or
+// step error are returned alongside it.
+func (s *Session) StepEvents(id string, inputs []map[string]string) ([]Event, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return nil, err
+	}
+	events := make([]Event, 0, len(inputs))
+	for _, enc := range inputs {
+		in, err := DecodeInstant(e.m, enc)
+		if err != nil {
+			return events, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
+		}
+		res, err := e.m.Step(in)
+		if err != nil {
+			return events, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
+		}
+		events = append(events, Event{
+			Instant:    e.instant,
+			Inputs:     EncodeInstant(in),
+			Outputs:    EncodeInstant(res.Outputs),
+			Terminated: res.Terminated,
+		})
+		e.instant++
+		if res.Terminated {
+			break
+		}
+	}
+	return events, nil
 }
 
 // Instant returns how many instants the machine has executed.
@@ -106,7 +194,44 @@ func (s *Session) Instant(id string) (int, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return 0, err
+	}
 	return e.instant, nil
+}
+
+// MachineInfo describes one session machine's identity and progress.
+type MachineInfo struct {
+	ID         string
+	Backend    string
+	Module     string
+	Instant    int
+	Terminated bool
+	Inputs     []Signal
+	Outputs    []Signal
+}
+
+// Info reports a machine's identity, interface, and progress in one
+// consistent observation.
+func (s *Session) Info(id string) (MachineInfo, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return MachineInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return MachineInfo{}, err
+	}
+	return MachineInfo{
+		ID:         id,
+		Backend:    e.backend,
+		Module:     e.m.Module(),
+		Instant:    e.instant,
+		Terminated: e.m.Terminated(),
+		Inputs:     e.m.Inputs(),
+		Outputs:    e.m.Outputs(),
+	}, nil
 }
 
 // Terminated reports whether the identified machine has finished.
@@ -117,6 +242,9 @@ func (s *Session) Terminated(id string) (bool, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return false, err
+	}
 	return e.m.Terminated(), nil
 }
 
@@ -128,6 +256,9 @@ func (s *Session) Reset(id string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.guard(id); err != nil {
+		return err
+	}
 	if err := e.m.Reset(); err != nil {
 		return err
 	}
@@ -147,6 +278,10 @@ func (s *Session) Fork(src, dst string) (string, error) {
 		return "", err
 	}
 	e.mu.Lock()
+	if err := e.guard(src); err != nil {
+		e.mu.Unlock()
+		return "", err
+	}
 	snap, err := e.m.Snapshot()
 	instant := e.instant
 	e.mu.Unlock()
@@ -163,15 +298,89 @@ func (s *Session) Fork(src, dst string) (string, error) {
 	return s.add(dst, &sessionEntry{backend: e.backend, design: e.design, m: m, instant: instant})
 }
 
-// Close removes the identified machine.
+// Close removes the identified machine. It serializes with the
+// machine's own mutex, so an in-flight Step or Fork on another
+// goroutine finishes (or fails) before the machine is considered
+// closed — never silently continuing against a machine the caller
+// believes gone — and any operation arriving after Close fails
+// cleanly. Of two racing Closes exactly one succeeds.
 func (s *Session) Close(id string) error {
+	e, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if err := e.guard(id); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.closed = true
+	e.mu.Unlock()
+	s.remove(id, e)
+	return nil
+}
+
+// remove drops a closed entry from the id map (only if the id still
+// names this entry: the id may have been reused after an earlier
+// removal).
+func (s *Session) remove(id string, e *sessionEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.entries[id]; !ok {
-		return fmt.Errorf("session: no machine %q", id)
+	if s.entries[id] == e {
+		delete(s.entries, id)
 	}
-	delete(s.entries, id)
-	return nil
+}
+
+// Evict atomically serializes and closes a machine: the snapshot is
+// taken and encoded under the machine's own lock, so no concurrent
+// Step can slip between the captured state and the close. The returned
+// blob revives the machine via Restore — the daemon's idle-session
+// persistence. Backends without portable snapshots (sim) report
+// ErrUnsupported and stay open.
+func (s *Session) Evict(id string) ([]byte, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if err := e.guard(id); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	snap, err := e.m.Snapshot()
+	if err != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("session: evict %q: %w", id, err)
+	}
+	blob, err := EncodeSnapshot(e.m, snap, e.instant)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("session: evict %q: %w", id, err)
+	}
+	e.closed = true
+	e.mu.Unlock()
+	s.remove(id, e)
+	return blob, nil
+}
+
+// Restore opens a machine of the named backend over the design,
+// rewinds it to an Evict-produced blob, and registers it under id
+// (empty id allocates one) — the other half of daemon session
+// revival. The machine is fully restored before it becomes
+// addressable.
+func (s *Session) Restore(id, backend string, d *core.Design, blob []byte) (string, error) {
+	m, err := Open(backend, d)
+	if err != nil {
+		return "", err
+	}
+	snap, instant, err := DecodeSnapshot(m, blob)
+	if err != nil {
+		return "", fmt.Errorf("session: restore %q: %w", id, err)
+	}
+	if err := m.Restore(snap); err != nil {
+		return "", fmt.Errorf("session: restore %q: %w", id, err)
+	}
+	return s.add(id, &sessionEntry{backend: backend, design: d, m: m, instant: instant})
 }
 
 // IDs lists the session's machine ids, sorted.

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// SnapshotBlobVersion is the current serialized-snapshot format
+// version.
+const SnapshotBlobVersion = 1
+
+// SnapshotBlob is the serialized form of a machine's execution state:
+// what an evicted daemon session persists in the content-addressed
+// store and revives from later — possibly in another process, against
+// a machine recompiled from the same source. Control state is encoded
+// per backend (the interpreter's canonical residue key, the EFSM's
+// state ID); variables and signal stores are name-keyed with values in
+// the canonical trace encoding ("0x…" big-endian bytes), so a blob is
+// inspectable with the same tools as a trace.
+type SnapshotBlob struct {
+	// Version is the format version (SnapshotBlobVersion).
+	Version int `json:"v"`
+	// Backend names the engine the snapshot was taken from; it only
+	// restores into a machine of the same backend.
+	Backend string `json:"backend"`
+	// Module names the design's module, as a restore-time guard.
+	Module string `json:"module"`
+	// Instant is how many instants the machine had executed.
+	Instant int `json:"instant"`
+	// State is the backend-specific control-state encoding.
+	State string `json:"state"`
+	// Started and Done mirror the backend's lifecycle flags.
+	Started bool `json:"started,omitempty"`
+	Done    bool `json:"done,omitempty"`
+	// Vars and Sigs hold the variable and signal stores, name-keyed,
+	// values in trace encoding.
+	Vars map[string]string `json:"vars,omitempty"`
+	Sigs map[string]string `json:"sigs,omitempty"`
+}
+
+// snapshotCodec is implemented by backend machines whose snapshots
+// convert to and from the portable blob fields. Backends without it
+// (sim) cannot be serialized; EncodeSnapshot reports ErrUnsupported.
+type snapshotCodec interface {
+	encodeSnapshot(Snapshot) (*SnapshotBlob, error)
+	decodeSnapshot(*SnapshotBlob) (Snapshot, error)
+}
+
+// EncodeSnapshot serializes a snapshot taken from m (with the
+// machine's instant count) into a self-describing blob. Backends
+// without portable snapshots report ErrUnsupported.
+func EncodeSnapshot(m Machine, snap Snapshot, instant int) ([]byte, error) {
+	c, ok := m.(snapshotCodec)
+	if !ok {
+		return nil, ErrUnsupported
+	}
+	b, err := c.encodeSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	b.Version = SnapshotBlobVersion
+	b.Backend = m.Backend()
+	b.Module = m.Module()
+	b.Instant = instant
+	return json.Marshal(b)
+}
+
+// DecodeSnapshot parses a serialized snapshot against a machine of the
+// same backend over the same design, returning the restorable snapshot
+// and the instant count it was taken at.
+func DecodeSnapshot(m Machine, data []byte) (Snapshot, int, error) {
+	var b SnapshotBlob
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, 0, fmt.Errorf("exec: snapshot blob: %w", err)
+	}
+	if b.Version != SnapshotBlobVersion {
+		return nil, 0, fmt.Errorf("exec: snapshot blob version %d not supported (want %d)", b.Version, SnapshotBlobVersion)
+	}
+	if b.Backend != m.Backend() {
+		return nil, 0, fmt.Errorf("exec: snapshot blob from backend %q cannot restore into %q", b.Backend, m.Backend())
+	}
+	if b.Module != m.Module() {
+		return nil, 0, fmt.Errorf("exec: snapshot blob of module %q cannot restore into %q", b.Module, m.Module())
+	}
+	c, ok := m.(snapshotCodec)
+	if !ok {
+		return nil, 0, ErrUnsupported
+	}
+	snap, err := c.decodeSnapshot(&b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, b.Instant, nil
+}
+
+// encodeByteMap renders name-keyed raw bytes in the trace value
+// encoding.
+func encodeByteMap(in map[string][]byte) map[string]string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(in))
+	for name, b := range in {
+		out[name] = "0x" + hex.EncodeToString(b)
+	}
+	return out
+}
+
+// decodeByteMap parses trace-encoded values back to raw bytes.
+func decodeByteMap(in map[string]string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(in))
+	for name, enc := range in {
+		b, err := hex.DecodeString(strings.TrimPrefix(enc, "0x"))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q for %s: %w", enc, name, err)
+		}
+		out[name] = b
+	}
+	return out, nil
+}

@@ -76,34 +76,38 @@ func (t *Trace) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadTrace parses a JSONL trace.
+// ReadTrace parses a JSONL trace. Lines grow as needed: one instant of
+// a design with many wide signals (or a batched daemon response) can
+// exceed any fixed scanner cap, so lines are assembled through a
+// growable buffer instead of bufio.Scanner's hard token limit.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	br := bufio.NewReader(r)
 	var t *Trace
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	for {
+		line, readErr := br.ReadString('\n')
+		if readErr != nil && readErr != io.EOF {
+			return nil, readErr
 		}
-		if t == nil {
-			t = &Trace{}
-			if err := json.Unmarshal([]byte(line), t); err != nil {
-				return nil, fmt.Errorf("trace header: %w", err)
+		if s := strings.TrimSpace(line); s != "" {
+			if t == nil {
+				t = &Trace{}
+				if err := json.Unmarshal([]byte(s), t); err != nil {
+					return nil, fmt.Errorf("trace header: %w", err)
+				}
+				if t.Version != TraceVersion {
+					return nil, fmt.Errorf("trace version %d not supported (want %d)", t.Version, TraceVersion)
+				}
+			} else {
+				var ev Event
+				if err := json.Unmarshal([]byte(s), &ev); err != nil {
+					return nil, fmt.Errorf("trace event %d: %w", len(t.Events), err)
+				}
+				t.Events = append(t.Events, ev)
 			}
-			if t.Version != TraceVersion {
-				return nil, fmt.Errorf("trace version %d not supported (want %d)", t.Version, TraceVersion)
-			}
-			continue
 		}
-		var ev Event
-		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			return nil, fmt.Errorf("trace event %d: %w", len(t.Events), err)
+		if readErr == io.EOF {
+			break
 		}
-		t.Events = append(t.Events, ev)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if t == nil {
 		return nil, fmt.Errorf("empty trace")

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReadTraceHugeLine is the regression test for the bufio.Scanner
+// token cap: one instant of a wide design (or a batched daemon
+// response) can exceed 1 MiB on a single JSONL line, which the old
+// Scanner-based reader rejected as "token too long". The reader must
+// assemble lines of any length.
+func TestReadTraceHugeLine(t *testing.T) {
+	wide := NewTrace("wide", "efsm")
+	// One event whose encoded line is well past the old 1 MiB cap.
+	huge := map[string]string{"blob": "0x" + strings.Repeat("ab", 1<<20)}
+	wide.Events = append(wide.Events,
+		Event{Instant: 0, Inputs: huge, Outputs: map[string]string{"ok": ""}},
+		Event{Instant: 1, Terminated: true},
+	)
+	var buf bytes.Buffer
+	if err := wide.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 2<<20 {
+		t.Fatalf("test trace only %d bytes; not past the old cap", buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace choked on a >1MiB line: %v", err)
+	}
+	if got.Module != "wide" || !reflect.DeepEqual(got.Events, wide.Events) {
+		t.Fatal("huge trace did not round-trip intact")
+	}
+}
+
+// TestReadTraceNoTrailingNewline accepts a trace whose final event line
+// lacks the terminating newline (a truncated-but-complete tail written
+// by a non-JSONL-strict producer).
+func TestReadTraceNoTrailingNewline(t *testing.T) {
+	text := `{"v":1,"module":"m","backend":"efsm"}` + "\n" + `{"i":0,"term":true}`
+	got, err := ReadTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 1 || !got.Events[0].Terminated {
+		t.Fatalf("events: %+v", got.Events)
+	}
+}

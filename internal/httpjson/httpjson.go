@@ -1,0 +1,29 @@
+// Package httpjson is the one JSON response helper the repo's HTTP
+// servers (eclcached's cache protocol, eclsimd's execution API) share:
+// it sets the Content-Type header before the status is written and
+// logs encode failures instead of silently dropping them — an encode
+// error after the header has gone out cannot be reported to the
+// client, so the server log is the only place it can surface.
+package httpjson
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+)
+
+// Logf is the destination for encode-failure reports; tests may
+// replace it. The default is the standard logger.
+var Logf = log.Printf
+
+// Write responds with v encoded as JSON under the given status. The
+// Content-Type header is set before the status line is committed.
+// Encode failures (marshal errors, a client that hung up mid-body) are
+// logged, not returned: by then the status is already on the wire.
+func Write(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		Logf("httpjson: encode %T response: %v", v, err)
+	}
+}

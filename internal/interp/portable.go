@@ -1,0 +1,122 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cval"
+	"repro/internal/kernel"
+)
+
+// PortableSnapshot is the pointer-free form of a Snapshot: control
+// state by its canonical key, variables and signal values by name with
+// raw big-endian bytes. It is what survives serialization — a machine
+// over the same module (even in a different process, as long as the
+// module was lowered from the same source) can rebind the names to its
+// own identities and continue exactly where the snapshot left off.
+type PortableSnapshot struct {
+	// State is the control residue's canonical key (State.Key).
+	State string
+	// Started and Done mirror the machine's lifecycle flags.
+	Started bool
+	Done    bool
+	// Vars maps variable names to their raw value bytes.
+	Vars map[string][]byte
+	// Sigs maps valued-signal names to their stored value bytes.
+	Sigs map[string][]byte
+}
+
+// Portable converts a snapshot to its name-keyed form.
+func (s *Snapshot) Portable() *PortableSnapshot {
+	p := &PortableSnapshot{
+		State:   s.state.Key(),
+		Started: s.started,
+		Done:    s.done,
+		Vars:    make(map[string][]byte, len(s.vars)),
+		Sigs:    make(map[string][]byte, len(s.sigVals)),
+	}
+	for v, val := range s.vars {
+		p.Vars[v.Name] = append([]byte(nil), val.B...)
+	}
+	for sig, val := range s.sigVals {
+		p.Sigs[sig.Name] = append([]byte(nil), val.B...)
+	}
+	return p
+}
+
+// SnapshotFromPortable rebinds a portable snapshot's names to this
+// machine's identities, validating that every store the machine owns
+// is covered with bytes of the declared size. The result restores into
+// this machine (or any machine over the same module).
+func (m *Machine) SnapshotFromPortable(p *PortableSnapshot) (*Snapshot, error) {
+	state, err := ParseStateKey(p.State)
+	if err != nil {
+		return nil, fmt.Errorf("interp: portable snapshot: %w", err)
+	}
+	s := &Snapshot{
+		owner:   m.Mod,
+		state:   state,
+		started: p.Started,
+		done:    p.Done,
+		vars:    make(map[*kernel.Var]cval.Value, len(m.vars)),
+		sigVals: make(map[*kernel.Signal]cval.Value, len(m.sigVals)),
+	}
+	for v := range m.vars {
+		b, ok := p.Vars[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: portable snapshot: no value for variable %s", v.Name)
+		}
+		if len(b) != v.Type.Size() {
+			return nil, fmt.Errorf("interp: portable snapshot: variable %s: %d bytes for %s (want %d)",
+				v.Name, len(b), v.Type, v.Type.Size())
+		}
+		s.vars[v] = cval.Value{Type: v.Type, B: append([]byte(nil), b...)}
+	}
+	for sig := range m.sigVals {
+		b, ok := p.Sigs[sig.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: portable snapshot: no value for signal %s", sig.Name)
+		}
+		if len(b) != sig.Type.Size() {
+			return nil, fmt.Errorf("interp: portable snapshot: signal %s: %d bytes for %s (want %d)",
+				sig.Name, len(b), sig.Type, sig.Type.Size())
+		}
+		s.sigVals[sig] = cval.Value{Type: sig.Type, B: append([]byte(nil), b...)}
+	}
+	return s, nil
+}
+
+// ParseStateKey rebuilds a control state from its canonical Key
+// encoding ("boot", or ";"-separated "id=v1,v2,..." entries).
+func ParseStateKey(key string) (*State, error) {
+	s := NewState()
+	if key == "boot" || key == "" {
+		return s, nil
+	}
+	for _, entry := range strings.Split(key, ";") {
+		id, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad state entry %q", entry)
+		}
+		node, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad state node id %q", id)
+		}
+		var vals []int
+		if rest != "" {
+			for _, f := range strings.Split(rest, ",") {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("bad state value %q in %q", f, entry)
+				}
+				vals = append(vals, v)
+			}
+		}
+		if vals == nil {
+			vals = []int{}
+		}
+		s.m[node] = vals
+	}
+	return s, nil
+}
