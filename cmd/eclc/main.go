@@ -32,10 +32,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -61,6 +59,7 @@ func main() {
 	target := flag.String("target", "esterel,c,glue,stats", "comma-separated targets: esterel,c,go,glue,dot,verilog,vhdl,stats")
 	outDir := flag.String("o", ".", "output directory")
 	minimize := flag.Bool("minimize", false, "minimize the EFSM before synthesis")
+	vet := flag.Bool("vet", false, "run the static analyzer over each compiled module and report findings (exit 1 on any)")
 	jobs := flag.Int("jobs", 0, "max concurrent module builds (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory (default $ECL_CACHE_DIR, else the user cache dir)")
 	noDiskCache := flag.Bool("no-disk-cache", false, "disable the persistent on-disk artifact cache")
@@ -91,7 +90,7 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	paths, sawDir, err := collectInputs(flag.Args())
+	paths, sawDir, err := driver.CollectInputs(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
@@ -99,7 +98,7 @@ func main() {
 	perFile := make([][]driver.Request, len(paths))
 	var wg sync.WaitGroup
 	for i, path := range paths {
-		seed := driver.Request{Path: path, Module: *module, Targets: targets, Options: opts}
+		seed := driver.Request{Path: path, Module: *module, Targets: targets, Options: opts, Analyze: *vet}
 		if *module != "" || !batch {
 			perFile[i] = []driver.Request{seed}
 			continue
@@ -160,9 +159,20 @@ func main() {
 	}
 
 	failed := false
-	writtenBy := map[string]string{} // output path -> source file
+	vetFindings := 0
+	seenFindings := map[string]bool{} // dedup file-scope findings across a file's modules
+	writtenBy := map[string]string{}  // output path -> source file
 	for i := range results {
 		res := &results[i]
+		for _, f := range res.Findings {
+			line := f.String()
+			if seenFindings[line] {
+				continue
+			}
+			seenFindings[line] = true
+			vetFindings++
+			fmt.Fprintf(os.Stderr, "eclc: vet: %s\n", line)
+		}
 		if res.Failed() {
 			failed = true
 			if len(res.Diags) == 0 {
@@ -194,45 +204,9 @@ func main() {
 			fmt.Printf("wrote %s\n", out)
 		}
 	}
-	if failed {
+	if failed || vetFindings > 0 {
 		os.Exit(1)
 	}
-}
-
-// collectInputs expands directory arguments into their .ecl files
-// (sorted), keeping plain files as given, and reports whether any
-// argument was a directory (which switches eclc into batch mode).
-func collectInputs(args []string) (paths []string, sawDir bool, err error) {
-	for _, arg := range args {
-		info, err := os.Stat(arg)
-		if err != nil {
-			return nil, false, err
-		}
-		if !info.IsDir() {
-			paths = append(paths, arg)
-			continue
-		}
-		sawDir = true
-		var found []string
-		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() && strings.HasSuffix(path, ".ecl") {
-				found = append(found, path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, false, err
-		}
-		if len(found) == 0 {
-			return nil, false, fmt.Errorf("no .ecl files under %s", arg)
-		}
-		sort.Strings(found)
-		paths = append(paths, found...)
-	}
-	return paths, sawDir, nil
 }
 
 // printExplain reports, per request, how each pipeline phase was

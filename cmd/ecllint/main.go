@@ -1,0 +1,47 @@
+// Command ecllint runs the repo's own Go linters. Today that is one
+// checker, httpjsonlint: HTTP handlers must encode JSON responses
+// through internal/httpjson instead of a raw json.NewEncoder over the
+// http.ResponseWriter (which drops Content-Type and encode errors).
+//
+// Usage:
+//
+//	ecllint [dir ...]
+//
+// With no arguments it lints the current directory tree. Exit status
+// is 1 when there are findings, 2 on a usage or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint/httpjsonlint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ecllint [dir ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	found := false
+	for _, root := range roots {
+		findings, err := httpjsonlint.CheckDir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecllint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			found = true
+			fmt.Println(f)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

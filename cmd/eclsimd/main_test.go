@@ -103,6 +103,11 @@ func TestDaemonDogfood(t *testing.T) {
 	const sessions = 50
 	var wg sync.WaitGroup
 	errs := make(chan error, sessions)
+	// All sessions open before any steps: with 50 sessions resident
+	// against the 20-session bound, eviction pressure is guaranteed
+	// rather than dependent on goroutine scheduling.
+	var opened sync.WaitGroup
+	opened.Add(sessions)
 	for w := 0; w < sessions; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -113,11 +118,13 @@ func TestDaemonDogfood(t *testing.T) {
 			}
 			wl := workloads[name]
 			info, err := c.Open(simd.OpenRequest{Path: name + ".ecl", Source: wl.src, Module: wl.module})
+			opened.Done()
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer c.Close(info.ID)
+			opened.Wait()
 			rng := rand.New(rand.NewSource(int64(w)))
 			var inputs []map[string]string
 			for i := 0; i < 120; i++ {

@@ -48,6 +48,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/cache"
 	"repro/internal/cache/remote"
 	"repro/internal/core"
@@ -88,6 +89,23 @@ const (
 func Parse(name, src string, opts Options) (*Program, error) {
 	return core.Parse(name, src, opts)
 }
+
+// Finding is one static-analysis diagnostic: a stable rule ID
+// (ECL001…), severity, source position, and message.
+type Finding = analyze.Finding
+
+// AnalyzerRule describes one static-analysis rule (ID, the IR level it
+// inspects, one-line doc).
+type AnalyzerRule = analyze.Rule
+
+// Analyze runs every static-analysis rule over a compiled design and
+// returns the findings, sorted by position. Batch callers get cached
+// analysis through BuildRequest.Analyze instead.
+func Analyze(d *Design) []Finding { return analyze.Analyze(d) }
+
+// AnalyzerRules lists the shipped static-analysis rules, in report
+// order.
+func AnalyzerRules() []AnalyzerRule { return analyze.Rules() }
 
 // Driver orchestrates batch compilation: many modules at once over a
 // bounded worker pool, with content-hash cached designs and structured

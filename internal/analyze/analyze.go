@@ -1,0 +1,241 @@
+// Package analyze is the ECL static analyzer: a rule engine that walks
+// a compiled design's three IR levels — the semantic tables (sem), the
+// Esterel kernel IR (kernel), and the compiled EFSM — and reports
+// structured findings with stable rule IDs, severities, and source
+// positions.
+//
+// This is the paper's core pitch ("catch system-level specification
+// errors early, before simulation") turned into a workload: every rule
+// diagnoses a class of specification mistake that would otherwise only
+// surface as a silently idle simulation. The analyzer runs as a cached
+// pipeline phase (internal/pipeline's "analyze"), through `eclc -vet`,
+// and through the batch `eclvet` tool; findings replay from the phase
+// cache on warm rebuilds without re-analysis.
+//
+// Rule IDs are grouped by IR level:
+//
+//	ECL0xx (x < 10)  semantic tables (unused declarations, dead awaits)
+//	ECL01x           kernel IR (emit conflicts, dead code, constant branches)
+//	ECL02x           EFSM (unreachable states, dead transitions, idle I/O)
+//
+// IDs are stable: a rule is never renumbered, and retired IDs are not
+// reused.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/source"
+)
+
+// Finding is one diagnostic produced by the analyzer. All fields are
+// plain values so findings serialize losslessly into the phase cache
+// (a replayed finding is byte-identical to a fresh one).
+type Finding struct {
+	// Rule is the stable rule ID, e.g. "ECL001".
+	Rule string `json:"rule"`
+	// Severity is "warning" for every current rule (the analyzer only
+	// runs on designs that already compiled, so nothing is an error).
+	Severity string `json:"severity"`
+	// File/Line/Col locate the finding; zero values mean the rule has
+	// no better anchor than the module itself.
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	// Module is the analyzed (top-level) module.
+	Module string `json:"module,omitempty"`
+	// Message describes the problem.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the grep-friendly one-line form shared
+// by eclc -vet and eclvet.
+func (f Finding) String() string {
+	pos := f.File
+	if f.Line > 0 {
+		pos = fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col)
+	}
+	if pos == "" {
+		pos = "<unknown>"
+	}
+	return fmt.Sprintf("%s: module %s: %s %s: %s", pos, f.Module, f.Rule, f.Severity, f.Message)
+}
+
+// Level names the IR level a rule inspects.
+type Level string
+
+// IR levels, in pipeline order.
+const (
+	LevelSem    Level = "sem"
+	LevelKernel Level = "kernel"
+	LevelEFSM   Level = "efsm"
+)
+
+// Rule describes one analyzer rule.
+type Rule struct {
+	// ID is the stable rule ID ("ECL001").
+	ID string
+	// Level is the IR level the rule inspects.
+	Level Level
+	// Doc is a one-line description of what the rule catches.
+	Doc string
+
+	run func(*pass)
+}
+
+// rulesVersion versions the shipped rule set; it is folded into the
+// analyze phase's content key so that adding, removing, or changing a
+// rule invalidates cached findings.
+const rulesVersion = 1
+
+// rules is the shipped rule table, in report order. IDs are stable.
+var rules = []Rule{
+	{ID: "ECL001", Level: LevelSem, Doc: "signal (interface parameter or local) never referenced in the module body", run: (*pass).unusedSignals},
+	{ID: "ECL002", Level: LevelSem, Doc: "variable declared but never referenced", run: (*pass).unusedVars},
+	{ID: "ECL003", Level: LevelSem, Doc: "data function never called from any module", run: (*pass).unusedFuncs},
+	{ID: "ECL004", Level: LevelSem, Doc: "await/present tests a non-input signal that is never emitted (can never hold)", run: (*pass).deadAwaits},
+	{ID: "ECL010", Level: LevelKernel, Doc: "valued signal emitted by two parallel branches (same-instant write-write conflict)", run: (*pass).emitConflicts},
+	{ID: "ECL011", Level: LevelKernel, Doc: "unreachable code after a statement that never terminates (halt, non-exiting loop)", run: (*pass).deadCode},
+	{ID: "ECL012", Level: LevelKernel, Doc: "data branch condition is compile-time constant", run: (*pass).constBranches},
+	{ID: "ECL020", Level: LevelEFSM, Doc: "state reachable only through transitions with unsatisfiable guards", run: (*pass).unreachableStates},
+	{ID: "ECL021", Level: LevelEFSM, Doc: "transition guard is unsatisfiable (contradictory data conditions)", run: (*pass).deadTransitions},
+	{ID: "ECL022", Level: LevelEFSM, Doc: "input signal never tested or read by any reachable transition", run: (*pass).idleInputs},
+	{ID: "ECL023", Level: LevelEFSM, Doc: "output signal never emitted by any reachable transition", run: (*pass).idleOutputs},
+}
+
+// Rules returns the shipped rule table, in report order.
+func Rules() []Rule {
+	out := make([]Rule, len(rules))
+	copy(out, rules)
+	return out
+}
+
+// RuleIDs returns every shipped rule ID, in report order.
+func RuleIDs() []string {
+	ids := make([]string, len(rules))
+	for i, r := range rules {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// KeySalt fingerprints the shipped rule set for the analyze phase's
+// content key: same salt, same findings for the same design.
+func KeySalt() string {
+	s := fmt.Sprintf("ecl-analyze:v%d", rulesVersion)
+	for _, r := range rules {
+		s += ":" + r.ID
+	}
+	return s
+}
+
+// Analyze runs every rule over a compiled design and returns the
+// findings sorted by position, rule, and message (a deterministic
+// order, so cached findings diff cleanly against fresh ones).
+func Analyze(d *core.Design) []Finding {
+	p := &pass{design: d, module: d.Lowered.Module.Name}
+	for _, r := range rules {
+		p.rule = r
+		r.run(p)
+	}
+	Sort(p.findings)
+	return p.findings
+}
+
+// Filter keeps only findings whose rule ID is in keep (nil keeps
+// everything).
+func Filter(fs []Finding, keep []string) []Finding {
+	if keep == nil {
+		return fs
+	}
+	want := make(map[string]bool, len(keep))
+	for _, id := range keep {
+		want[id] = true
+	}
+	out := fs[:0:0]
+	for _, f := range fs {
+		if want[f.Rule] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Sort orders findings by file, line, column, rule, then message.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Encode serializes findings for the analyze phase's cache snapshot.
+func Encode(fs []Finding) ([]byte, error) {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	return json.Marshal(fs)
+}
+
+// Decode is Encode's inverse; an undecodable blob reports an error so
+// the phase degrades to a re-analysis.
+func Decode(data []byte) ([]Finding, error) {
+	var fs []Finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// pass carries one analysis run's state.
+type pass struct {
+	design   *core.Design
+	module   string
+	rule     Rule
+	findings []Finding
+
+	// Memoized per-design fact tables shared across rules.
+	sem      *semUse
+	semDone  bool
+	efsm     *efsmFacts
+	efsmDone bool
+}
+
+// report records one finding for the current rule.
+func (p *pass) report(pos source.Pos, format string, args ...interface{}) {
+	f := Finding{
+		Rule:     p.rule.ID,
+		Severity: "warning",
+		Module:   p.module,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if pos.IsValid() {
+		f.File = pos.File.Name
+		f.Line = pos.Line()
+		f.Col = pos.Column()
+	}
+	p.findings = append(p.findings, f)
+}
+
+// modulePos is the fallback anchor: the analyzed module's declaration.
+func (p *pass) modulePos() source.Pos {
+	if mi := p.design.Lowered.Info.Modules[p.module]; mi != nil && mi.Decl != nil {
+		return mi.Decl.Pos()
+	}
+	return source.Pos{}
+}

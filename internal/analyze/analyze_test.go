@@ -1,0 +1,207 @@
+package analyze
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// compileModule builds one module of one source into a Design.
+func compileModule(t *testing.T, path, src, module string) *core.Design {
+	t.Helper()
+	prog, err := core.Parse(path, src, core.Options{})
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	d, err := prog.Compile(module)
+	if err != nil {
+		t.Fatalf("compile %s %s: %v", path, module, err)
+	}
+	return d
+}
+
+// TestPaperExamplesClean pins the analyzer's precision: every module of
+// the paper's examples must analyze without findings.
+func TestPaperExamplesClean(t *testing.T) {
+	cases := []struct {
+		path, src, module string
+	}{
+		{"abro.ecl", paperex.ABRO, "abro"},
+		{"runner.ecl", paperex.RunnerStop, "runner"},
+		{"stack.ecl", paperex.Stack, "assemble"},
+		{"stack.ecl", paperex.Stack, "checkcrc"},
+		{"stack.ecl", paperex.Stack, "prochdr"},
+		{"stack.ecl", paperex.Stack, "toplevel"},
+		{"buffer.ecl", paperex.Buffer, "recordctl"},
+		{"buffer.ecl", paperex.Buffer, "playctl"},
+		{"buffer.ecl", paperex.Buffer, "levelmon"},
+		{"buffer.ecl", paperex.Buffer, "bufferctl"},
+	}
+	for _, c := range cases {
+		t.Run(c.path+"/"+c.module, func(t *testing.T) {
+			d := compileModule(t, c.path, c.src, c.module)
+			for _, f := range Analyze(d) {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		})
+	}
+}
+
+// TestExamplesCorpusClean requires the shipped examples/ corpus to be
+// vet-clean — the same gate CI enforces with `eclvet -all examples`.
+func TestExamplesCorpusClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.ecl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := core.Parse(filepath.Base(path), string(src), core.Options{})
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, module := range prog.Modules() {
+			t.Run(filepath.Base(path)+"/"+module, func(t *testing.T) {
+				d, err := prog.Compile(module)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				for _, f := range Analyze(d) {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			})
+		}
+	}
+}
+
+// TestVetGoldens runs the analyzer over the seeded rule-trigger
+// programs in testdata/vet: one program per rule ID, each golden file
+// holding the complete expected finding set. The module under analysis
+// is the file's last module (multi-module seeds wire helper modules
+// first). Refresh with `go test ./internal/analyze -run Goldens -update`.
+func TestVetGoldens(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "vet", "*.ecl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no vet seeds found: %v", err)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := core.Parse(filepath.Base(path), string(src), core.Options{})
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			modules := prog.Modules()
+			if len(modules) == 0 {
+				t.Fatal("no modules in seed")
+			}
+			d, err := prog.Compile(modules[len(modules)-1])
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var b strings.Builder
+			for _, f := range Analyze(d) {
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			golden := strings.TrimSuffix(path, ".ecl") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o666); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			// The seed's filename names the rule it must trigger
+			// (ecl001_xxx.ecl -> ECL001); companion findings may ride
+			// along in the golden, but the named rule must be present.
+			name := filepath.Base(path)
+			rule := "ECL" + name[3:6]
+			if !strings.Contains(got, rule+" ") {
+				t.Errorf("seed %s did not trigger %s:\n%s", name, rule, got)
+			}
+		})
+	}
+}
+
+// TestFindingRoundTrip pins the snapshot codec: findings replayed from
+// the phase cache must be byte-identical to fresh ones.
+func TestFindingRoundTrip(t *testing.T) {
+	fs := []Finding{
+		{Rule: "ECL001", Severity: "warning", File: "x.ecl", Line: 3, Col: 9, Module: "m", Message: "msg"},
+		{Rule: "ECL023", Severity: "warning", Module: "m", Message: "no pos"},
+	}
+	blob, err := Encode(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(fs) {
+		t.Fatalf("got %d findings, want %d", len(back), len(fs))
+	}
+	for i := range fs {
+		if back[i] != fs[i] {
+			t.Errorf("finding %d: got %+v want %+v", i, back[i], fs[i])
+		}
+	}
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	empty, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Decode(empty); err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v %v", got, err)
+	}
+}
+
+// TestRuleTable pins the registry invariants the CLIs rely on.
+func TestRuleTable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Doc == "" {
+			t.Errorf("rule %s has no doc", r.ID)
+		}
+		switch r.Level {
+		case LevelSem, LevelKernel, LevelEFSM:
+		default:
+			t.Errorf("rule %s has unknown level %q", r.ID, r.Level)
+		}
+	}
+	if len(RuleIDs()) != len(Rules()) {
+		t.Error("RuleIDs/Rules length mismatch")
+	}
+	if KeySalt() == "" {
+		t.Error("empty key salt")
+	}
+}

@@ -1,0 +1,112 @@
+package analyze
+
+import "repro/internal/ast"
+
+// walkStmt calls visit for s, every statement nested below it, and
+// every expression those statements contain (via walkExpr). It is the
+// analyzer's structural traversal over the ECL AST; sem rules resolve
+// the visited identifiers through sem.Info.Uses.
+func walkStmt(s ast.Stmt, visit func(ast.Node)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			walkStmt(st, visit)
+		}
+	case *ast.VarDecl:
+		walkExpr(s.Init, visit)
+	case *ast.SignalDecl:
+	case *ast.ExprStmt:
+		walkExpr(s.X, visit)
+	case *ast.Empty:
+	case *ast.If:
+		walkExpr(s.Cond, visit)
+		walkStmt(s.Then, visit)
+		walkStmt(s.Else, visit)
+	case *ast.While:
+		walkExpr(s.Cond, visit)
+		walkStmt(s.Body, visit)
+	case *ast.DoWhile:
+		walkStmt(s.Body, visit)
+		walkExpr(s.Cond, visit)
+	case *ast.For:
+		walkStmt(s.Init, visit)
+		walkExpr(s.Cond, visit)
+		walkStmt(s.Post, visit)
+		walkStmt(s.Body, visit)
+	case *ast.Switch:
+		walkExpr(s.Tag, visit)
+		for _, c := range s.Cases {
+			for _, v := range c.Values {
+				walkExpr(v, visit)
+			}
+			for _, st := range c.Body {
+				walkStmt(st, visit)
+			}
+		}
+	case *ast.Break, *ast.Continue, *ast.Halt:
+	case *ast.Return:
+		walkExpr(s.X, visit)
+	case *ast.Emit:
+		walkExpr(s.Signal, visit)
+		walkExpr(s.Value, visit)
+	case *ast.Await:
+		walkExpr(s.Sig, visit)
+	case *ast.Present:
+		walkExpr(s.Sig, visit)
+		walkStmt(s.Then, visit)
+		walkStmt(s.Else, visit)
+	case *ast.DoPreempt:
+		walkExpr(s.Sig, visit)
+		walkStmt(s.Body, visit)
+		walkStmt(s.Handler, visit)
+	case *ast.Par:
+		for _, b := range s.Branches {
+			walkStmt(b, visit)
+		}
+	}
+}
+
+// walkExpr calls visit for e and every expression nested below it.
+func walkExpr(e ast.Expr, visit func(ast.Node)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch e := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.Unary:
+		walkExpr(e.X, visit)
+	case *ast.Postfix:
+		walkExpr(e.X, visit)
+	case *ast.Binary:
+		walkExpr(e.X, visit)
+		walkExpr(e.Y, visit)
+	case *ast.Assign:
+		walkExpr(e.LHS, visit)
+		walkExpr(e.RHS, visit)
+	case *ast.Cond:
+		walkExpr(e.CondX, visit)
+		walkExpr(e.Then, visit)
+		walkExpr(e.Else, visit)
+	case *ast.Call:
+		walkExpr(e.Fun, visit)
+		for _, a := range e.Args {
+			walkExpr(a, visit)
+		}
+	case *ast.Index:
+		walkExpr(e.X, visit)
+		walkExpr(e.Sub, visit)
+	case *ast.Member:
+		walkExpr(e.X, visit)
+	case *ast.Cast:
+		walkExpr(e.X, visit)
+	case *ast.SizeofExpr:
+		walkExpr(e.X, visit)
+	case *ast.Paren:
+		walkExpr(e.X, visit)
+	}
+}

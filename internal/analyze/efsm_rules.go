@@ -1,0 +1,272 @@
+package analyze
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/efsm"
+	"repro/internal/kernel"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// The EFSM-level rules (ECL020–ECL023) inspect the compiled machine:
+// every control state's decision tree, flattened into transitions.
+// Reachability here is stronger than the compiler's forward
+// exploration — the compiler explores both arms of every unknown data
+// branch, so a state can exist yet be enterable only through guards
+// that contradict themselves. These rules re-check each transition
+// guard for satisfiability and walk the machine along satisfiable
+// transitions only.
+
+// efsmFacts is everything the EFSM rules share for one machine.
+type efsmFacts struct {
+	m *efsm.Machine
+	// trans caches Transitions per state (flattening is O(paths)).
+	trans map[*efsm.State][]*efsm.Transition
+	// reachable holds states enterable from Initial via satisfiable
+	// transitions.
+	reachable map[*efsm.State]bool
+	// tested, referenced, emitted summarize signal usage over the
+	// transitions of reachable states: presence-tested by an input
+	// branch, value-read by a condition/action/data function, emitted
+	// by an action.
+	tested     map[*kernel.Signal]bool
+	referenced map[*kernel.Signal]bool
+	emitted    map[*kernel.Signal]bool
+}
+
+func (p *pass) efsmFacts() *efsmFacts {
+	if p.efsmDone {
+		return p.efsm
+	}
+	p.efsmDone = true
+	m := p.design.Machine
+	if m == nil {
+		return nil
+	}
+	f := &efsmFacts{
+		m:          m,
+		trans:      make(map[*efsm.State][]*efsm.Transition),
+		reachable:  make(map[*efsm.State]bool),
+		tested:     make(map[*kernel.Signal]bool),
+		referenced: make(map[*kernel.Signal]bool),
+		emitted:    make(map[*kernel.Signal]bool),
+	}
+	for _, s := range m.States {
+		f.trans[s] = m.Transitions(s)
+	}
+	// BFS from the initial state over satisfiable transitions.
+	var queue []*efsm.State
+	if m.Initial != nil {
+		f.reachable[m.Initial] = true
+		queue = append(queue, m.Initial)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range f.trans[s] {
+			if t.To == nil || f.reachable[t.To] || unsatCond(t) >= 0 {
+				continue
+			}
+			f.reachable[t.To] = true
+			queue = append(queue, t.To)
+		}
+	}
+	// Signal usage over reachable states.
+	for _, s := range m.States {
+		if !f.reachable[s] {
+			continue
+		}
+		for _, t := range f.trans[s] {
+			for sig := range t.Inputs {
+				f.tested[sig] = true
+			}
+			for _, dc := range t.Data {
+				noteSignalRefs(dc.Expr, f.referenced)
+			}
+			for _, a := range t.Actions {
+				switch a.Kind {
+				case efsm.ActEmit:
+					f.emitted[a.Sig] = true
+					if a.Value != nil {
+						noteSignalRefs(*a.Value, f.referenced)
+					}
+				case efsm.ActAssign:
+					noteSignalRefs(a.LHS, f.referenced)
+					noteSignalRefs(a.RHS, f.referenced)
+				case efsm.ActEval:
+					noteSignalRefs(a.X, f.referenced)
+				case efsm.ActCall:
+					for _, st := range a.F.Body {
+						noteStmtSignalRefs(a.F.B, st, f.referenced)
+					}
+				}
+			}
+		}
+	}
+	p.efsm = f
+	return f
+}
+
+// noteSignalRefs records every signal whose value the bound expression
+// reads.
+func noteSignalRefs(e kernel.Expr, dst map[*kernel.Signal]bool) {
+	if e.E == nil || e.B == nil {
+		return
+	}
+	walkExpr(e.E, func(n ast.Node) {
+		if id, ok := n.(*ast.Ident); ok {
+			if si, ok := e.B.Info.Uses[id].(*sem.SignalInfo); ok {
+				if sig := e.B.Sigs[si]; sig != nil {
+					dst[sig] = true
+				}
+			}
+		}
+	})
+}
+
+// noteStmtSignalRefs is noteSignalRefs over an extracted data
+// function's statements.
+func noteStmtSignalRefs(b *kernel.Binding, s ast.Stmt, dst map[*kernel.Signal]bool) {
+	walkStmt(s, func(n ast.Node) {
+		if id, ok := n.(*ast.Ident); ok {
+			if si, ok := b.Info.Uses[id].(*sem.SignalInfo); ok {
+				if sig := b.Sigs[si]; sig != nil {
+					dst[sig] = true
+				}
+			}
+		}
+	})
+}
+
+// unsatCond decides whether a transition's guard is unsatisfiable and
+// returns the index of the offending data condition (-1 if the guard
+// is satisfiable as far as this analysis can tell). Two checks:
+//
+//   - a condition that folds to a constant contradicting its required
+//     outcome;
+//   - the same condition (same expression text, same module instance)
+//     required both true and false on one path — sound only when no
+//     action on the path can change a value the conditions read, so
+//     any transition with assignments, evals, calls, or valued emits
+//     is conservatively satisfiable.
+func unsatCond(t *efsm.Transition) int {
+	valueSafe := true
+	for _, a := range t.Actions {
+		if a.Kind != efsm.ActEmit || a.Value != nil {
+			valueSafe = false
+			break
+		}
+	}
+	seen := make(map[string]bool)
+	for i, dc := range t.Data {
+		if dc.Expr.B != nil && dc.Expr.E != nil {
+			if v, ok := dc.Expr.B.Info.ConstEval(dc.Expr.E); ok {
+				if (v != 0) != dc.Want {
+					return i
+				}
+				continue
+			}
+		}
+		if !valueSafe {
+			continue
+		}
+		key := fmt.Sprintf("%p|%s", dc.Expr.B, dc.Expr.String())
+		if want, dup := seen[key]; dup {
+			if want != dc.Want {
+				return i
+			}
+		} else {
+			seen[key] = dc.Want
+		}
+	}
+	return -1
+}
+
+// unreachableStates is ECL020: a state the machine cannot enter — every
+// path to it from the initial state crosses an unsatisfiable guard.
+func (p *pass) unreachableStates() {
+	f := p.efsmFacts()
+	if f == nil {
+		return
+	}
+	for _, s := range f.m.States {
+		if f.reachable[s] {
+			continue
+		}
+		p.report(p.modulePos(), "state s%d is unreachable: every path to it has an unsatisfiable guard", s.ID)
+	}
+}
+
+// deadTransitions is ECL021: a transition of a reachable state whose
+// guard can never hold.
+func (p *pass) deadTransitions() {
+	f := p.efsmFacts()
+	if f == nil {
+		return
+	}
+	for _, s := range f.m.States {
+		if !f.reachable[s] {
+			continue
+		}
+		for _, t := range f.trans[s] {
+			i := unsatCond(t)
+			if i < 0 {
+				continue
+			}
+			pos := source.Pos{}
+			if t.Data[i].Expr.E != nil {
+				pos = t.Data[i].Expr.E.Pos()
+			}
+			if !pos.IsValid() {
+				pos = p.modulePos()
+			}
+			p.report(pos, "transition from state s%d can never fire: guard %q is unsatisfiable", s.ID, t.GuardString())
+		}
+	}
+}
+
+// idleInputs is ECL022: an input signal no reachable transition ever
+// tests for presence or reads the value of — the environment can wiggle
+// it forever without the machine noticing.
+func (p *pass) idleInputs() {
+	f := p.efsmFacts()
+	if f == nil {
+		return
+	}
+	for _, sig := range f.m.Inputs {
+		if f.tested[sig] || f.referenced[sig] {
+			continue
+		}
+		p.report(p.interfacePos(sig.Name), "input signal %q is never tested or read by any reachable transition", sig.Name)
+	}
+}
+
+// idleOutputs is ECL023: an output signal no reachable transition ever
+// emits — the machine can never drive it.
+func (p *pass) idleOutputs() {
+	f := p.efsmFacts()
+	if f == nil {
+		return
+	}
+	for _, sig := range f.m.Outputs {
+		if f.emitted[sig] {
+			continue
+		}
+		p.report(p.interfacePos(sig.Name), "output signal %q is never emitted by any reachable transition", sig.Name)
+	}
+}
+
+// interfacePos anchors an interface-signal finding on the parameter's
+// declaration, falling back to the module.
+func (p *pass) interfacePos(name string) source.Pos {
+	if mi := p.design.Lowered.Info.Modules[p.module]; mi != nil && mi.Decl != nil {
+		for _, sp := range mi.Decl.Params {
+			if sp.Name == name {
+				return sp.DirPos
+			}
+		}
+	}
+	return p.modulePos()
+}

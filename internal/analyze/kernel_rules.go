@@ -1,0 +1,250 @@
+package analyze
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/source"
+)
+
+// The kernel-level rules (ECL010–ECL012) inspect the lowered Esterel
+// kernel IR, after module inlining and reactive/data splitting: what
+// they see is the whole design, not one module's text. Positions are
+// best-effort — kernel statements carry no positions of their own, so
+// rules anchor on the AST expressions embedded in data actions and
+// fall back to the module declaration.
+
+// exprPos finds the first source position embedded in a kernel subtree.
+func exprPos(s kernel.Stmt) source.Pos {
+	var pos source.Pos
+	kernel.Walk(s, func(n kernel.Stmt) {
+		if pos.IsValid() {
+			return
+		}
+		switch n := n.(type) {
+		case *kernel.Emit:
+			if n.Value != nil {
+				pos = n.Value.E.Pos()
+			}
+		case *kernel.Assign:
+			pos = n.LHS.E.Pos()
+		case *kernel.Eval:
+			pos = n.X.E.Pos()
+		case *kernel.IfData:
+			pos = n.Cond.E.Pos()
+		case *kernel.DataCall:
+			if len(n.F.Body) > 0 {
+				pos = n.F.Body[0].Pos()
+			}
+		}
+	})
+	return pos
+}
+
+// emitConflicts is ECL010: a valued signal emitted by two branches of
+// one par. If both branches emit in the same instant the writes
+// collide and one value is lost; pure signals are exempt (presence is
+// idempotent).
+func (p *pass) emitConflicts() {
+	mod := p.design.Lowered.Module
+	kernel.Walk(mod.Body, func(s kernel.Stmt) {
+		par, ok := s.(*kernel.Par)
+		if !ok {
+			return
+		}
+		// firstEmit remembers the earliest emit per signal across the
+		// branches walked so far; a second branch emitting the same
+		// valued signal is the conflict.
+		firstEmit := make(map[*kernel.Signal]int)
+		reported := make(map[*kernel.Signal]bool)
+		for i, br := range par.Branches {
+			inBranch := make(map[*kernel.Signal]*kernel.Emit)
+			kernel.Walk(br, func(n kernel.Stmt) {
+				if e, ok := n.(*kernel.Emit); ok && !e.Sig.Pure {
+					if inBranch[e.Sig] == nil {
+						inBranch[e.Sig] = e
+					}
+				}
+			})
+			for sig, e := range inBranch {
+				if _, dup := firstEmit[sig]; !dup {
+					firstEmit[sig] = i
+					continue
+				}
+				if reported[sig] {
+					continue
+				}
+				reported[sig] = true
+				pos := source.Pos{}
+				if e.Value != nil {
+					pos = e.Value.E.Pos()
+				}
+				if !pos.IsValid() {
+					pos = p.modulePos()
+				}
+				p.report(pos, "valued signal %q is emitted by two parallel branches (write-write conflict if both emit in one instant)", sig.Name)
+			}
+		}
+	})
+}
+
+// terminates reports whether a kernel statement can terminate normally
+// (pass control to its sequential successor). It is deliberately
+// optimistic about preemption — an abort body is assumed escapable —
+// so a "never terminates" verdict is reliable.
+type termAnalysis struct {
+	memo map[kernel.Stmt]bool
+}
+
+func (ta *termAnalysis) terminates(s kernel.Stmt) bool {
+	if s == nil {
+		return true
+	}
+	if v, ok := ta.memo[s]; ok {
+		return v
+	}
+	// Pre-seed true: a (semantically impossible) cycle defaults to the
+	// optimistic answer, keeping the verdict reliable.
+	ta.memo[s] = true
+	v := ta.computeTerm(s)
+	ta.memo[s] = v
+	return v
+}
+
+func (ta *termAnalysis) computeTerm(s kernel.Stmt) bool {
+	switch s := s.(type) {
+	case *kernel.Halt:
+		return false
+	case *kernel.Exit:
+		return false // control leaves the sequence via the trap
+	case *kernel.Loop:
+		// A loop only terminates through an Exit crossing it, which is
+		// an Exit's non-termination, not the loop's.
+		return false
+	case *kernel.Seq:
+		for _, c := range s.List {
+			if !ta.terminates(c) {
+				return false
+			}
+		}
+		return true
+	case *kernel.Par:
+		for _, b := range s.Branches {
+			if !ta.terminates(b) {
+				return false
+			}
+		}
+		return true
+	case *kernel.Present:
+		return ta.terminates(s.Then) || ta.terminates(s.Else)
+	case *kernel.IfData:
+		return ta.terminates(s.Then) || ta.terminates(s.Else)
+	case *kernel.Trap:
+		if ta.hasExitTo(s.Body, s) {
+			return true
+		}
+		return ta.terminates(s.Body)
+	case *kernel.Abort:
+		return true // preemption can always end the body
+	case *kernel.Suspend:
+		return ta.terminates(s.Body)
+	case *kernel.Local:
+		return ta.terminates(s.Body)
+	}
+	// Nothing, Pause, Await, Emit, Assign, Eval, DataCall.
+	return true
+}
+
+func (ta *termAnalysis) hasExitTo(s kernel.Stmt, t *kernel.Trap) bool {
+	found := false
+	kernel.Walk(s, func(n kernel.Stmt) {
+		if e, ok := n.(*kernel.Exit); ok && e.Target == t {
+			found = true
+		}
+	})
+	return found
+}
+
+// deadCode is ECL011: statements in a sequence after one that never
+// terminates (halt, a loop with no exit, a bare break).
+func (p *pass) deadCode() {
+	mod := p.design.Lowered.Module
+	ta := &termAnalysis{memo: make(map[kernel.Stmt]bool)}
+	kernel.Walk(mod.Body, func(s kernel.Stmt) {
+		seq, ok := s.(*kernel.Seq)
+		if !ok {
+			return
+		}
+		for i, c := range seq.List {
+			if ta.terminates(c) {
+				continue
+			}
+			// Everything after c is unreachable; report the first
+			// non-trivial dead statement and stop (nested walks will
+			// not re-report inside c itself).
+			for _, d := range seq.List[i+1:] {
+				if _, trivial := d.(*kernel.Nothing); trivial {
+					continue
+				}
+				pos := exprPos(d)
+				if !pos.IsValid() {
+					pos = exprPos(c)
+				}
+				if !pos.IsValid() {
+					pos = p.modulePos()
+				}
+				p.report(pos, "unreachable code after %s", describeNonTerm(c))
+				return
+			}
+			return
+		}
+	})
+}
+
+func describeNonTerm(s kernel.Stmt) string {
+	switch s.(type) {
+	case *kernel.Halt:
+		return "halt()"
+	case *kernel.Exit:
+		return "a break"
+	case *kernel.Loop, *kernel.Trap:
+		return "a loop that never exits"
+	}
+	return "a statement that never terminates"
+}
+
+// constBranches is ECL012: a data branch whose condition folds to a
+// constant, so one arm can never run. Loop-generated branches (the
+// while-condition test lowering emits: no then-arm, an exit else-arm)
+// are exempt — a constant there is the explicit `do {...} while (0)`
+// idiom, not a mistake.
+func (p *pass) constBranches() {
+	mod := p.design.Lowered.Module
+	kernel.Walk(mod.Body, func(s kernel.Stmt) {
+		ifd, ok := s.(*kernel.IfData)
+		if !ok {
+			return
+		}
+		if ifd.Then == nil {
+			if _, exitElse := ifd.Else.(*kernel.Exit); exitElse || ifd.Else == nil {
+				return
+			}
+		}
+		v, ok := ifd.Cond.B.Info.ConstEval(ifd.Cond.E)
+		if !ok {
+			return
+		}
+		arm := "false: the then-branch never runs"
+		if v != 0 {
+			arm = "true: the else-branch never runs"
+			if ifd.Else == nil {
+				arm = "true: the test is redundant"
+			}
+		} else if ifd.Then == nil {
+			arm = "false: the test is redundant"
+		}
+		pos := ifd.Cond.E.Pos()
+		if !pos.IsValid() {
+			pos = p.modulePos()
+		}
+		p.report(pos, "condition %q is always %s", ifd.Cond.String(), arm)
+	})
+}

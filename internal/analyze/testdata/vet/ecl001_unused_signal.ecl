@@ -1,0 +1,9 @@
+/* ECL001: a declared local signal nothing ever references. */
+module m (input pure i, output pure o)
+{
+    signal pure unused_sig;
+    while (1) {
+        await (i);
+        emit (o);
+    }
+}

@@ -1,0 +1,9 @@
+/* ECL002: a declared variable nothing ever references. */
+module m (input int x, output int y)
+{
+    int dead;
+    while (1) {
+        await (x);
+        emit_v (y, x + 1);
+    }
+}

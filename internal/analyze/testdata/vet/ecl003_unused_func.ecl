@@ -1,0 +1,13 @@
+/* ECL003: a data function no module ever calls. */
+int helper (int a)
+{
+    return a + 1;
+}
+
+module m (input pure i, output pure o)
+{
+    while (1) {
+        await (i);
+        emit (o);
+    }
+}

@@ -1,0 +1,16 @@
+/* ECL004: awaiting a local signal nothing emits — the await can never
+ * see it present. */
+module m (input pure i, output pure o)
+{
+    signal pure never_up;
+    par {
+        while (1) {
+            await (i);
+            emit (o);
+        }
+        {
+            await (never_up);
+            emit (o);
+        }
+    }
+}

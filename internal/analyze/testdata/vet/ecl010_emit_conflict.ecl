@@ -1,0 +1,16 @@
+/* ECL010: two parallel branches both emit the valued signal o; in an
+ * instant where both fire, one write is lost. */
+module m (input pure t, output int o)
+{
+    par {
+        while (1) {
+            await (t);
+            emit_v (o, 1);
+        }
+        while (1) {
+            await (t);
+            await (t);
+            emit_v (o, 2);
+        }
+    }
+}

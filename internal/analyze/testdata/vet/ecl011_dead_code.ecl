@@ -1,0 +1,10 @@
+/* ECL011: code after halt() can never run. */
+module m (input pure i, output pure o)
+{
+    int n;
+    n = 0;
+    await (i);
+    emit (o);
+    halt ();
+    n = 1;
+}

@@ -1,0 +1,11 @@
+/* ECL012: a data condition that is compile-time constant — the else
+ * arm can never run. */
+module m (input pure i, output pure o)
+{
+    while (1) {
+        await (i);
+        if (2 > 1) {
+            emit (o);
+        }
+    }
+}

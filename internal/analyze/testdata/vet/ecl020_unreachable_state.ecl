@@ -1,0 +1,18 @@
+/* ECL020: the inner `if (x > 0)` sits in the outer test's else arm, so
+ * its then-branch — and the await state inside it — is reachable only
+ * through a contradictory guard. (The dead transition into that state
+ * is the companion ECL021 finding.) */
+module m (input pure t, input int x, output pure o)
+{
+    while (1) {
+        await (t);
+        if (x > 0) {
+            emit (o);
+        } else {
+            if (x > 0) {
+                await (t);
+                emit (o);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+/* ECL021: the inner `if (x > 0)` can only be reached when the same
+ * test was just false, so its transition can never fire. */
+module m (input pure t, input int x, output pure o)
+{
+    while (1) {
+        await (t);
+        if (x > 0) {
+            emit (o);
+        } else {
+            if (x > 0) {
+                emit (o);
+            }
+        }
+    }
+}

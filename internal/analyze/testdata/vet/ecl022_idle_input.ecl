@@ -1,0 +1,17 @@
+/* ECL022: top wires its input x into sub, but sub never looks at it —
+ * no reachable transition of the compiled machine tests or reads x.
+ * (Analyzing sub by itself would flag its parameter as ECL001; the
+ * analyzed module here is top, whose own use of x — the instantiation
+ * argument — is legitimate at the source level.) */
+module sub (input pure ignored, input pure tick, output pure done)
+{
+    while (1) {
+        await (tick);
+        emit (done);
+    }
+}
+
+module top (input pure x, input pure tick, output pure done)
+{
+    sub (x, tick, done);
+}

@@ -1,0 +1,20 @@
+/* ECL023: top declares output o but only ever wires it into sub as an
+ * input, which nothing can emit — no reachable transition drives o. */
+module sub (input pure watched, input pure tick, output pure done)
+{
+    par {
+        while (1) {
+            await (tick);
+            emit (done);
+        }
+        {
+            await (watched);
+            emit (done);
+        }
+    }
+}
+
+module top (input pure tick, output pure o, output pure done)
+{
+    sub (o, tick, done);
+}

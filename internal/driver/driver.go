@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analyze"
 	"repro/internal/cache"
 	"repro/internal/cache/remote"
 	"repro/internal/core"
@@ -98,6 +99,12 @@ type Request struct {
 	// Options configures the pipeline (splitter policy, preprocessor
 	// tables, EFSM bounds, minimization).
 	Options core.Options
+	// Analyze runs the static-analysis phase over the compiled design
+	// and fills Result.Findings. Requests with Analyze set always walk
+	// the phase graph (the design-level artifact tiers store rendered
+	// outputs, not findings), so the analyze phase itself can report a
+	// cache hit or rebuild of its own.
+	Analyze bool
 }
 
 // Result reports one request's outcome. Artifacts maps each requested
@@ -117,6 +124,10 @@ type Result struct {
 	Artifacts map[Target]string
 	Stats     *core.Stats
 	Design    *core.Design
+
+	// Findings holds the static-analysis diagnostics (nil unless the
+	// request set Analyze; non-nil but possibly empty when it ran).
+	Findings []analyze.Finding
 
 	// Phases records how each pipeline phase was satisfied for this
 	// request. A request that ran the pipeline carries one entry per
@@ -333,8 +344,11 @@ func (d *Driver) buildOne(req Request) Result {
 
 	// Memory tier, artifact replay: a previous request (possibly a
 	// disk hit) already holds every artifact this one needs, so serve
-	// it without compiling even though no Design is cached.
-	if len(want) > 0 && !entry.hasDesign.Load() {
+	// it without compiling even though no Design is cached. Analyze
+	// requests skip the design-level tiers entirely — findings live in
+	// the phase store, so the phase graph must be walked (its own
+	// analyze snapshot makes the warm path cheap).
+	if len(want) > 0 && !entry.hasDesign.Load() && !req.Analyze {
 		if module, arts, ok := entry.replay(want); ok {
 			d.hits.Add(1)
 			res.Cached = true
@@ -399,6 +413,17 @@ func (d *Driver) buildOne(req Request) Result {
 		return res
 	}
 	res.Design = entry.design
+	if req.Analyze {
+		findings, ran := entry.analyzeFindings()
+		res.Findings = findings
+		if !built && ran {
+			// The entry was compiled by an earlier, analyze-less request;
+			// this one ran the rules over the memoized design just now.
+			res.Phases = append(res.Phases, pipeline.PhaseResult{
+				Phase: pipeline.PhaseAnalyze, Status: pipeline.StatusRebuilt,
+			})
+		}
+	}
 
 	if len(req.Targets) > 0 {
 		res.Artifacts = make(map[Target]string, len(req.Targets))
@@ -522,9 +547,11 @@ func (d *Driver) compileEntry(entry *cacheEntry, req Request, src string) {
 		Opts:      req.Options,
 		Emits:     emitPhases(req.Targets),
 		GoPackage: req.GoPackage,
+		Analyze:   req.Analyze,
 	})
 	entry.module = pres.Module
 	entry.phases = pres.Phases
+	entry.findings = pres.Findings
 	if pres.Err != nil {
 		entry.err = pres.Err
 		entry.diags = toDiags(req.Path, pres.Module, diagPhase(pres.ErrPhase), pres.Err)
@@ -692,6 +719,14 @@ type cacheEntry struct {
 	err    error
 	phases []pipeline.PhaseResult // pipeline walk that built this entry
 
+	// findings memoizes the static-analysis diagnostics: filled by the
+	// pipeline when the building request asked for analysis, or lazily
+	// (analyzeOnce) when a later analyze request hits an entry compiled
+	// without it. nil means "not analyzed yet" (the pipeline normalizes
+	// an empty finding list to a non-nil slice).
+	analyzeOnce sync.Once
+	findings    []analyze.Finding
+
 	mu         sync.Mutex
 	diskModule string // resolved module name from a disk hit
 	artifacts  map[string]artifactResult
@@ -721,6 +756,26 @@ func (e *cacheEntry) artifact(t Target, goPkg string) (string, error) {
 	text, err := emit(e.design, t, goPkg)
 	e.artifacts[key] = artifactResult{text, err}
 	return text, err
+}
+
+// analyzeFindings returns the entry's static-analysis diagnostics,
+// running the rules over the memoized design on first demand when the
+// building request did not ask for them. ran reports whether this call
+// performed the lazy analysis, as opposed to the findings having come
+// from the pipeline walk (or from a concurrent caller's run).
+func (e *cacheEntry) analyzeFindings() (findings []analyze.Finding, ran bool) {
+	e.analyzeOnce.Do(func() {
+		if e.findings != nil || e.design == nil {
+			return
+		}
+		ran = true
+		fs := analyze.Analyze(e.design)
+		if fs == nil {
+			fs = []analyze.Finding{}
+		}
+		e.findings = fs
+	})
+	return e.findings, ran
 }
 
 // replay serves a request purely from artifacts already in memory

@@ -5,9 +5,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/paperex"
+	"repro/internal/pipeline"
 )
 
 func buildCtx() context.Context { return context.Background() }
@@ -332,5 +334,109 @@ func TestTargetFilenames(t *testing.T) {
 		if got := target.Filename("m"); got != want {
 			t.Errorf("%s.Filename = %q, want %q", target, got, want)
 		}
+	}
+}
+
+// vetSource carries exactly one analyzer finding (ECL001: unused local
+// signal).
+const vetSource = `
+module m (input pure i, output pure o)
+{
+    signal pure unused_sig;
+    while (1) {
+        await (i);
+        emit (o);
+    }
+}
+`
+
+func analyzeStatus(t *testing.T, res *Result) pipeline.Status {
+	t.Helper()
+	for _, pr := range res.Phases {
+		if pr.Phase == pipeline.PhaseAnalyze {
+			return pr.Status
+		}
+	}
+	t.Fatalf("analyze phase not walked (phases: %+v)", res.Phases)
+	return ""
+}
+
+func TestDriverAnalyze(t *testing.T) {
+	d := New(1)
+	req := Request{Path: "vet.ecl", Source: vetSource, Analyze: true}
+	res := d.BuildOne(req)
+	if res.Failed() {
+		t.Fatalf("build: %v", res.Err)
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Rule != "ECL001" {
+		t.Fatalf("findings = %+v, want one ECL001", res.Findings)
+	}
+	if st := analyzeStatus(t, &res); st != pipeline.StatusRebuilt {
+		t.Errorf("analyze = %s, want rebuilt", st)
+	}
+
+	// Identical request on the same driver: the design entry is
+	// memoized and so are its findings.
+	again := d.BuildOne(req)
+	if !again.Cached || len(again.Findings) != 1 {
+		t.Errorf("memoized = (cached=%t, %+v), want cached with findings", again.Cached, again.Findings)
+	}
+}
+
+// TestDriverAnalyzeSkipsDesignTier: an analyze request must walk the
+// phase graph even when the v1 design cache could serve the artifacts,
+// so warm runs report the analyze phase's own disk-hit.
+func TestDriverAnalyzeSkipsDesignTier(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Driver {
+		store, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Driver{Workers: 1, Disk: store}
+	}
+	req := Request{Path: "vet.ecl", Source: vetSource, Targets: []Target{TargetC}, Analyze: true}
+
+	cold := open().BuildOne(req)
+	if cold.Failed() {
+		t.Fatalf("cold: %v", cold.Err)
+	}
+	if st := analyzeStatus(t, &cold); st != pipeline.StatusRebuilt {
+		t.Errorf("cold analyze = %s, want rebuilt", st)
+	}
+
+	warm := open().BuildOne(req)
+	if warm.Failed() {
+		t.Fatalf("warm: %v", warm.Err)
+	}
+	if st := analyzeStatus(t, &warm); st != pipeline.StatusDiskHit {
+		t.Errorf("warm analyze = %s, want disk-hit", st)
+	}
+	if len(warm.Findings) != 1 || warm.Findings[0] != cold.Findings[0] {
+		t.Errorf("warm findings = %+v, want %+v", warm.Findings, cold.Findings)
+	}
+	if warm.Artifacts[TargetC] != cold.Artifacts[TargetC] {
+		t.Errorf("warm artifact differs from cold")
+	}
+}
+
+// TestDriverAnalyzeLazyOnMemoizedEntry: a design compiled by an
+// analyze-less request still serves a later analyze request (the rules
+// run over the memoized design on demand).
+func TestDriverAnalyzeLazyOnMemoizedEntry(t *testing.T) {
+	d := New(1)
+	plain := d.BuildOne(Request{Path: "vet.ecl", Source: vetSource})
+	if plain.Failed() || plain.Findings != nil {
+		t.Fatalf("plain = (%v, %+v), want success with nil findings", plain.Err, plain.Findings)
+	}
+	vet := d.BuildOne(Request{Path: "vet.ecl", Source: vetSource, Analyze: true})
+	if vet.Failed() {
+		t.Fatalf("vet: %v", vet.Err)
+	}
+	if len(vet.Findings) != 1 || vet.Findings[0].Rule != "ECL001" {
+		t.Errorf("lazy findings = %+v, want one ECL001", vet.Findings)
+	}
+	if st := analyzeStatus(t, &vet); st != pipeline.StatusRebuilt {
+		t.Errorf("lazy analyze = %s, want rebuilt", st)
 	}
 }

@@ -1,0 +1,47 @@
+package driver
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CollectInputs expands directory arguments into their .ecl files
+// (sorted), keeping plain files as given, and reports whether any
+// argument was a directory (which switches the CLI tools into batch
+// mode). A directory with no .ecl files underneath is an error.
+func CollectInputs(args []string) (paths []string, sawDir bool, err error) {
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, false, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		sawDir = true
+		var found []string
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".ecl") {
+				found = append(found, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if len(found) == 0 {
+			return nil, false, fmt.Errorf("no .ecl files under %s", arg)
+		}
+		sort.Strings(found)
+		paths = append(paths, found...)
+	}
+	return paths, sawDir, nil
+}

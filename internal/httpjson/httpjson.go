@@ -7,6 +7,7 @@
 package httpjson
 
 import (
+	"bufio"
 	"encoding/json"
 	"log"
 	"net/http"
@@ -27,3 +28,55 @@ func Write(w http.ResponseWriter, status int, v any) {
 		Logf("httpjson: encode %T response: %v", v, err)
 	}
 }
+
+// Stream writes an NDJSON response body: one JSON value per line,
+// buffered, with the application/x-ndjson Content-Type set before the
+// first byte is committed. Like Write, encode failures mid-stream
+// cannot reach the client (the 200 status is already on the wire), so
+// they are logged — tagged with the caller-supplied context — and the
+// stream goes dead: every later Encode is a no-op reporting false.
+type Stream struct {
+	what string
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	err  error
+}
+
+// NewStream starts an NDJSON response on w; what names the response in
+// encode-failure logs (e.g. "step abro-1").
+func NewStream(w http.ResponseWriter, what string) *Stream {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	return &Stream{what: what, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode appends one value as a JSON line, reporting false (after
+// logging) on the first failure and on every call after it.
+func (s *Stream) Encode(v any) bool {
+	if s.err != nil {
+		return false
+	}
+	if err := s.enc.Encode(v); err != nil {
+		s.err = err
+		Logf("httpjson: %s: encode %T line: %v", s.what, v, err)
+		return false
+	}
+	return true
+}
+
+// Flush drains the buffer to the client; a flush failure is logged and
+// kills the stream like an encode failure. Call it once after the last
+// Encode.
+func (s *Stream) Flush() {
+	if s.err != nil {
+		return
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.err = err
+		Logf("httpjson: %s: flush response: %v", s.what, err)
+	}
+}
+
+// Err returns the first encode or flush failure, nil while the stream
+// is healthy.
+func (s *Stream) Err() error { return s.err }

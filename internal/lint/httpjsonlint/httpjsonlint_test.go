@@ -1,0 +1,141 @@
+package httpjsonlint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "sample.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse sample: %v", err)
+	}
+	return CheckFile(fset, file)
+}
+
+func TestFlagsRawEncoderOnResponseWriter(t *testing.T) {
+	findings := check(t, `
+package p
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(map[string]int{"a": 1})
+}
+`)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "json.NewEncoder over http.ResponseWriter") {
+		t.Fatalf("findings = %v, want one raw-encoder finding", findings)
+	}
+}
+
+func TestFlagsBufferedEncoderAndUncheckedEncode(t *testing.T) {
+	// The exact shape the simd daemon used before httpjson.Stream:
+	// encoder over a bufio wrapper of the ResponseWriter, bare Encode.
+	findings := check(t, `
+package p
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+)
+
+func step(w http.ResponseWriter, r *http.Request) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.Encode("event")
+	bw.Flush()
+}
+`)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want raw-encoder + unchecked-Encode", findings)
+	}
+	if !strings.Contains(findings[0].Message, "json.NewEncoder over http.ResponseWriter") {
+		t.Errorf("first finding = %v, want raw-encoder", findings[0])
+	}
+	if !strings.Contains(findings[1].Message, "Encode error discarded") {
+		t.Errorf("second finding = %v, want unchecked-Encode", findings[1])
+	}
+}
+
+func TestFlagsClosureHandler(t *testing.T) {
+	findings := check(t, `
+package p
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func register(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode("hi")
+	})
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want one finding inside the closure", findings)
+	}
+}
+
+func TestIgnoresPlainWriters(t *testing.T) {
+	// Encoders over io.Writer / bytes.Buffer (traces, artifacts, request
+	// bodies) are fine — even with the error checked or not.
+	findings := check(t, `
+package p
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func writeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode("trace")
+}
+
+func buildBody(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.Encode("request")
+	io.Copy(w, &buf)
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none for plain writers", findings)
+	}
+}
+
+func TestIgnoresFilesWithoutBothImports(t *testing.T) {
+	findings := check(t, `
+package p
+
+import "encoding/json"
+
+func encode(v any) ([]byte, error) { return json.Marshal(v) }
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none without net/http", findings)
+	}
+}
+
+// TestRepoClean is the dogfood gate: the repository itself must lint
+// clean (internal/httpjson being the one exempt package).
+func TestRepoClean(t *testing.T) {
+	findings, err := CheckDir("../../..")
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

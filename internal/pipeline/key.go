@@ -8,6 +8,7 @@ import (
 	"hash"
 	"sort"
 
+	"repro/internal/analyze"
 	"repro/internal/ast"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -92,6 +93,22 @@ func KeyEFSM(structFP string, opts compile.Options) string {
 func KeyEFSMMin(efsmKey string) string {
 	h := fph(PhaseEFSMMin)
 	hpart(h, efsmKey)
+	return hsum(h)
+}
+
+// KeyAnalyze fingerprints the static-analysis phase: the machine it
+// inspects (by phase key — efsm or efsm-min, so minimized and
+// unminimized analyses cache separately), the front end's lower key
+// (which chains back through sem and parse to the exact source bytes,
+// so cached findings can never replay stale positions or miss a
+// source-level edit the structural fingerprint forgives), and the rule
+// registry's salt, so adding, removing, or revising a rule invalidates
+// every cached findings snapshot.
+func KeyAnalyze(machineKey, lowerKey string) string {
+	h := fph(PhaseAnalyze)
+	hpart(h, machineKey)
+	hpart(h, lowerKey)
+	hpart(h, analyze.KeySalt())
 	return hsum(h)
 }
 

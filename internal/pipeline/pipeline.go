@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/analyze"
 	"repro/internal/ast"
 	"repro/internal/cache"
 	"repro/internal/compile"
@@ -52,6 +53,7 @@ const (
 	PhaseLower       Phase = "lower"
 	PhaseEFSM        Phase = "efsm"
 	PhaseEFSMMin     Phase = "efsm-min"
+	PhaseAnalyze     Phase = "analyze"
 	PhaseEmitEsterel Phase = "emit-esterel"
 	PhaseEmitC       Phase = "emit-c"
 	PhaseEmitGo      Phase = "emit-go"
@@ -72,6 +74,7 @@ const (
 func AllPhases() []Phase {
 	return []Phase{
 		PhaseParse, PhaseSem, PhaseLower, PhaseEFSM, PhaseEFSMMin,
+		PhaseAnalyze,
 		PhaseEmitEsterel, PhaseEmitC, PhaseEmitGo, PhaseEmitGlue,
 		PhaseEmitDot, PhaseEmitVerilog, PhaseEmitVHDL, PhaseEmitStats,
 	}
@@ -171,6 +174,9 @@ type Request struct {
 	// Emits lists the artifact phases to render, in order.
 	Emits     []Phase
 	GoPackage string
+	// Analyze runs the static-analysis phase over the compiled design
+	// and fills Result.Findings.
+	Analyze bool
 }
 
 // Result is one pipeline walk's outcome. Err/ErrPhase report a
@@ -182,10 +188,13 @@ type Result struct {
 	Design    *core.Design
 	Artifacts map[Phase]string
 	EmitErrs  map[Phase]error
-	Stats     *core.Stats
-	Phases    []PhaseResult
-	Err       error
-	ErrPhase  Phase
+	// Findings holds the analyze phase's diagnostics (nil unless
+	// Request.Analyze; non-nil but possibly empty when it ran).
+	Findings []analyze.Finding
+	Stats    *core.Stats
+	Phases   []PhaseResult
+	Err      error
+	ErrPhase Phase
 }
 
 // Runner walks the phase graph with three snapshot tiers: an
@@ -338,11 +347,12 @@ func (r *Runner) remember(key string, blobs map[string]string, persisted bool) {
 
 // Blob names within phase snapshots.
 const (
-	blobAST    = "ast"    // parse: printed AST
-	blobKernel = "kernel" // lower: serialized kernel IR
-	blobEFSM   = "efsm"   // efsm / efsm-min: serialized machine
-	blobText   = "text"   // emit phases: rendered artifact
-	blobJSON   = "json"   // stats: machine-readable core.Stats
+	blobAST      = "ast"      // parse: printed AST
+	blobKernel   = "kernel"   // lower: serialized kernel IR
+	blobEFSM     = "efsm"     // efsm / efsm-min: serialized machine
+	blobText     = "text"     // emit phases: rendered artifact
+	blobJSON     = "json"     // stats: machine-readable core.Stats
+	blobFindings = "findings" // analyze: serialized findings list
 )
 
 // Run walks the graph for one request. The front end (parse, sem,
@@ -453,6 +463,33 @@ func (r *Runner) Run(req Request) *Result {
 
 	prog := core.NewProgram(file, info, &diags, req.Opts)
 	res.Design = &core.Design{Program: prog, Lowered: low, Machine: final}
+
+	// analyze: the static-analysis phase. Findings serialize as a
+	// snapshot of their own, so a warm rebuild of an unchanged module
+	// replays the diagnostics without re-walking the IRs.
+	if req.Analyze {
+		key := ""
+		if machineKey != "" {
+			key = KeyAnalyze(machineKey, lowerKey)
+		}
+		if blobs, st, ok := r.getSnap(key, []string{blobFindings}); ok {
+			if fs, err := analyze.Decode([]byte(blobs[blobFindings])); err == nil {
+				res.Findings = fs
+				record(PhaseAnalyze, key, st)
+			}
+		}
+		if res.Findings == nil {
+			fs := analyze.Analyze(res.Design)
+			if fs == nil {
+				fs = []analyze.Finding{}
+			}
+			res.Findings = fs
+			record(PhaseAnalyze, key, StatusRebuilt)
+			if enc, err := analyze.Encode(res.Findings); err == nil {
+				r.putSnap(PhaseAnalyze, key, map[string]string{blobFindings: string(enc)})
+			}
+		}
+	}
 
 	// Emission: per-phase keyed by machine + data bodies, so a
 	// data-function edit re-renders here while the machine replays.

@@ -193,3 +193,75 @@ func TestRunnerCorruptSnapshotRebuilds(t *testing.T) {
 		t.Errorf("efsm over corrupt store = %s, want rebuilt", st)
 	}
 }
+
+// vetSource has exactly one finding: the ECL001 unused local signal.
+const vetSource = `
+module m (input pure i, output pure o)
+{
+    signal pure unused_sig;
+    while (1) {
+        await (i);
+        emit (o);
+    }
+}
+`
+
+// TestRunnerAnalyzePhase: the analyze phase runs on request, snapshots
+// its findings, and a fresh process replays them from disk without
+// re-analysis — the warm `eclc -vet` contract.
+func TestRunnerAnalyzePhase(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Runner {
+		store, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewRunner(store)
+	}
+
+	cold := open().Run(Request{Path: "vet.ecl", Source: vetSource, Analyze: true})
+	if cold.Err != nil {
+		t.Fatalf("cold: %v", cold.Err)
+	}
+	if st := statusOf(t, cold, PhaseAnalyze); st != StatusRebuilt {
+		t.Errorf("cold analyze = %s, want rebuilt", st)
+	}
+	if len(cold.Findings) != 1 || cold.Findings[0].Rule != "ECL001" {
+		t.Fatalf("cold findings = %+v, want one ECL001", cold.Findings)
+	}
+
+	warm := open().Run(Request{Path: "vet.ecl", Source: vetSource, Analyze: true})
+	if warm.Err != nil {
+		t.Fatalf("warm: %v", warm.Err)
+	}
+	if st := statusOf(t, warm, PhaseAnalyze); st != StatusDiskHit {
+		t.Errorf("warm analyze = %s, want disk-hit", st)
+	}
+	if len(warm.Findings) != 1 || warm.Findings[0] != cold.Findings[0] {
+		t.Errorf("replayed findings %+v differ from fresh %+v", warm.Findings, cold.Findings)
+	}
+
+	// Same runner again: the snapshot serves from memory.
+	r := open()
+	r.Run(Request{Path: "vet.ecl", Source: vetSource, Analyze: true})
+	mem := r.Run(Request{Path: "vet.ecl", Source: vetSource, Analyze: true})
+	if st := statusOf(t, mem, PhaseAnalyze); st != StatusMemHit {
+		t.Errorf("mem analyze = %s, want mem-hit", st)
+	}
+
+	// A clean design reports a non-nil empty list, and without Analyze
+	// the phase is never walked.
+	clean := open().Run(Request{Path: "abro.ecl", Source: paperex.ABRO, Analyze: true})
+	if clean.Err != nil || clean.Findings == nil || len(clean.Findings) != 0 {
+		t.Errorf("clean = (%v, %+v), want non-nil empty findings", clean.Err, clean.Findings)
+	}
+	off := open().Run(Request{Path: "abro.ecl", Source: paperex.ABRO})
+	if off.Findings != nil {
+		t.Errorf("findings without Analyze = %+v, want nil", off.Findings)
+	}
+	for _, pr := range off.Phases {
+		if pr.Phase == PhaseAnalyze {
+			t.Errorf("analyze phase walked without Analyze: %+v", pr)
+		}
+	}
+}

@@ -512,25 +512,19 @@ func (d *Daemon) step(w http.ResponseWriter, r *http.Request) {
 	events, stepErr := d.session.StepEvents(id, inputs)
 	d.batches.Add(1)
 	d.steps.Add(int64(len(events)))
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	st := httpjson.NewStream(w, "simd: step "+id)
 	for _, ev := range events {
-		if err := enc.Encode(ev); err != nil {
-			d.cfg.Logf("simd: step %s: encode response: %v", id, err)
+		if !st.Encode(ev) {
 			return
 		}
 	}
 	if stepErr != nil {
 		d.errCount.Add(1)
-		if err := enc.Encode(wireEvent{Error: stepErr.Error()}); err != nil {
-			d.cfg.Logf("simd: step %s: encode error line: %v", id, err)
+		if !st.Encode(wireEvent{Error: stepErr.Error()}) {
 			return
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		d.cfg.Logf("simd: step %s: flush response: %v", id, err)
-	}
+	st.Flush()
 }
 
 func (d *Daemon) fork(w http.ResponseWriter, r *http.Request) {
