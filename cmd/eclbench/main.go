@@ -9,13 +9,16 @@
 //
 // It is also CI's benchmark-artifact tool:
 //
-//	go test -run '^$' -bench . -benchtime 1x -json ./... | eclbench -json -o BENCH_PR3.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem -json ./... | eclbench -json -o BENCH_PR3.json
 //	eclbench -compare [-max-regress 30] BENCH_PR2.json BENCH_PR3.json
 //
 // -json converts a `go test -json` benchmark stream (stdin) into the
 // compact committed artifact; -compare exits non-zero when the new
 // artifact's Step-throughput (BenchmarkStepPacket/*) regressed past
-// the threshold against the old one.
+// the threshold against the old one, or when a benchmark the gate
+// requires to be allocation-free (BenchmarkStepPacket/efsm-table)
+// reports nonzero allocs/op in the new artifact. The alloc gate needs
+// the bench run to pass -benchmem and fails when the metric is absent.
 package main
 
 import (
@@ -118,11 +121,16 @@ func compareBench(args []string, maxRegress float64) {
 		}
 		return rep
 	}
-	cmp, err := benchfmt.CompareStep(read(args[0]), read(args[1]), maxRegress)
+	newRep := read(args[1])
+	cmp, err := benchfmt.CompareStep(read(args[0]), newRep, maxRegress)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(cmp.Format())
+	if err := benchfmt.CheckZeroAlloc(newRep, benchfmt.ZeroAllocBenches); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Zero-alloc gate: %d benchmark(s) allocation-free\n", len(benchfmt.ZeroAllocBenches))
 	if cmp.Regressed {
 		os.Exit(1)
 	}

@@ -49,7 +49,6 @@ import (
 func main() {
 	module := flag.String("module", "", "module to simulate (default: last in file)")
 	backend := flag.String("backend", "", "execution backend: "+strings.Join(exec.Backends(), ", ")+" (default efsm)")
-	mode := flag.String("mode", "", "deprecated alias for -backend")
 	script := flag.String("script", "", "input script file (one instant per line)")
 	tracePath := flag.String("trace", "", "record the run as a JSONL trace to this file")
 	replayPath := flag.String("replay", "", "replay a recorded JSONL trace and diff the outputs")
@@ -64,10 +63,6 @@ func main() {
 		os.Exit(2)
 	}
 	name := *backend
-	if name == "" && *mode != "" {
-		fmt.Fprintln(os.Stderr, "eclsim: -mode is deprecated, use -backend")
-		name = *mode
-	}
 	if *connect != "" {
 		// Connected mode: the daemon compiles and executes; an empty
 		// backend name defers to the daemon's default.

@@ -72,14 +72,19 @@ func startDaemon(t *testing.T, exe string, extra ...string) string {
 // TestDaemonDogfood is the CI dogfood flow against the real binary: 50
 // concurrent sessions of reactive workloads driven through batched
 // stepping, every conversation transcribed as a trace and replayed
-// clean against the oracle interpreter.
+// clean against the oracle interpreter. The daemon runs with
+// -backend efsm-table so the table-compiled hot path carries the bulk
+// of the tenancy (including its evict/revive churn); a third of the
+// sessions explicitly request the efsm backend to keep mixed-backend
+// residency in the mix.
 func TestDaemonDogfood(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping binary end-to-end test")
 	}
 	dir := t.TempDir()
 	url := startDaemon(t, build(t, dir, "repro/cmd/eclsimd", "eclsimd"),
-		"-max-sessions", "20") // force LRU eviction churn under the 50 sessions
+		"-max-sessions", "20", // force LRU eviction churn under the 50 sessions
+		"-backend", "efsm-table")
 
 	// Compile the two workloads locally once, for the replay oracles.
 	d := driver.New(0)
@@ -117,10 +122,20 @@ func TestDaemonDogfood(t *testing.T) {
 				name = "stack"
 			}
 			wl := workloads[name]
-			info, err := c.Open(simd.OpenRequest{Path: name + ".ecl", Source: wl.src, Module: wl.module})
+			backend := "" // daemon default: efsm-table
+			if w%3 == 0 {
+				backend = "efsm"
+			}
+			info, err := c.Open(simd.OpenRequest{
+				Path: name + ".ecl", Source: wl.src, Module: wl.module, Backend: backend,
+			})
 			opened.Done()
 			if err != nil {
 				errs <- err
+				return
+			}
+			if backend == "" && info.Backend != "efsm-table" {
+				errs <- fmt.Errorf("session %d: default backend = %q, want efsm-table", w, info.Backend)
 				return
 			}
 			defer c.Close(info.ID)

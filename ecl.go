@@ -33,11 +33,13 @@
 //
 //	prog, err := ecl.Parse("abro.ecl", src, ecl.Options{})
 //	design, err := prog.Compile("abro")
-//	m, err := ecl.OpenMachine("efsm", design) // or "interp", "efsm-min", "sim"
+//	m, err := ecl.OpenMachine("efsm", design) // or "interp", "efsm-min", "efsm-table", "sim"
 //	out, err := m.Step(map[string]ecl.Value{"A": {}})
 //
-// The raw design.Runtime() / design.Interpreter() entry points are
-// deprecated in favor of OpenMachine; for many machines at once use
+// Backends built for the hot path additionally implement SlotStepper —
+// slot-indexed, allocation-free stepping resolved through Ports; the
+// batch layers detect and use it automatically. For many machines at
+// once use
 //
 //	s := ecl.NewSession()
 //	id, err := s.Open("", "efsm", design)
@@ -145,6 +147,7 @@ const (
 	TargetGo      = driver.TargetGo
 	TargetGlue    = driver.TargetGlue
 	TargetDot     = driver.TargetDot
+	TargetTable   = driver.TargetTable
 	TargetVerilog = driver.TargetVerilog
 	TargetVHDL    = driver.TargetVHDL
 	TargetStats   = driver.TargetStats
@@ -251,6 +254,16 @@ type Machine = exec.Machine
 
 // MachineSignal describes one interface signal of a Machine.
 type MachineSignal = exec.Signal
+
+// Ports is the slot-indexed view of a machine's signal interface:
+// names resolve to fixed integer slots once at open time, so the hot
+// path steps over arrays instead of maps.
+type Ports = exec.Ports
+
+// SlotStepper is the optional Machine extension interface for backends
+// whose hot path is slot-indexed (efsm-table); traces, sessions, and
+// benchmarks detect it and bypass per-instant map translation.
+type SlotStepper = exec.SlotStepper
 
 // StepResult reports one executed instant.
 type StepResult = exec.Result

@@ -32,6 +32,14 @@ const Version = 1
 // regression gate tracks.
 const StepBenchPrefix = "BenchmarkStepPacket/"
 
+// ZeroAllocBenches lists the benchmarks the gate requires to report 0
+// allocs/op (so the bench run must pass -benchmem). The table backend
+// advertises an allocation-free hot path; any alloc that creeps in is
+// a regression even when throughput looks fine.
+var ZeroAllocBenches = []string{
+	StepBenchPrefix + "efsm-table",
+}
+
 // Benchmark is one benchmark result.
 type Benchmark struct {
 	Name    string             `json:"name"`
@@ -246,6 +254,32 @@ func CompareStep(old, new *Report, maxRegressPercent float64) (*Comparison, erro
 	cmp.GeoMean = math.Exp(logSum / float64(len(cmp.Ratios)))
 	cmp.Regressed = cmp.GeoMean > cmp.Threshold
 	return cmp, nil
+}
+
+// CheckZeroAlloc verifies that every named benchmark appears in the
+// artifact and reports an allocs/op metric of exactly zero. A missing
+// benchmark or a missing allocs/op metric (bench run without
+// -benchmem) is an error too — the gate must not silently pass because
+// the measurement was never taken.
+func CheckZeroAlloc(rep *Report, names []string) error {
+	byBase := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byBase[baseName(b.Name)] = b
+	}
+	for _, name := range names {
+		b, ok := byBase[name]
+		if !ok {
+			return fmt.Errorf("zero-alloc gate: benchmark %s not in artifact", name)
+		}
+		allocs, ok := b.Metrics["allocs/op"]
+		if !ok {
+			return fmt.Errorf("zero-alloc gate: %s has no allocs/op metric (bench run without -benchmem?)", name)
+		}
+		if allocs != 0 {
+			return fmt.Errorf("zero-alloc gate: %s allocates %.0f allocs/op, want 0", name, allocs)
+		}
+	}
+	return nil
 }
 
 // Format renders the comparison for CI logs.

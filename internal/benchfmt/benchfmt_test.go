@@ -17,7 +17,7 @@ const sampleStream = `
 {"Action":"output","Package":"other","Output":"BenchmarkUnrelated-8 \t"}
 {"Action":"output","Package":"repro","Output":"       1\t   9305208 ns/op\t        64.00 instants/op\n"}
 {"Action":"output","Package":"other","Output":"       2\t       100 ns/op\n"}
-{"Action":"output","Package":"repro","Output":"BenchmarkStepPacket/efsm-8 \t       1\t    120000 ns/op\t        64.00 instants/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkStepPacket/efsm-8 \t       1\t    120000 ns/op\t        64.00 instants/op\t       0 B/op\t       0 allocs/op\n"}
 {"Action":"output","Package":"repro","Output":"BenchmarkBatchSequential-8 \t       1\t  55000000 ns/op\t        10.00 modules\n"}
 {"Action":"output","Package":"repro","Output":"ok  \trepro\t1.2s\n"}
 not even json
@@ -39,6 +39,39 @@ func TestParseTestJSON(t *testing.T) {
 	}
 	if b.Metrics["ns/op"] != 9305208 || b.Metrics["instants/op"] != 64 {
 		t.Fatalf("metrics = %+v", b.Metrics)
+	}
+	// -benchmem metrics ride along in the generic metric map.
+	efsm := rep.Benchmarks[1]
+	if efsm.Name != "BenchmarkStepPacket/efsm-8" {
+		t.Fatalf("benchmark = %+v", efsm)
+	}
+	if v, ok := efsm.Metrics["allocs/op"]; !ok || v != 0 {
+		t.Fatalf("allocs/op not carried: %+v", efsm.Metrics)
+	}
+}
+
+func TestCheckZeroAlloc(t *testing.T) {
+	mk := func(metrics map[string]float64) *Report {
+		return &Report{Version: Version, Benchmarks: []Benchmark{
+			{Name: "BenchmarkStepPacket/efsm-table-8", Iters: 1, Metrics: metrics},
+		}}
+	}
+	names := []string{"BenchmarkStepPacket/efsm-table"}
+
+	if err := CheckZeroAlloc(mk(map[string]float64{"ns/op": 100, "allocs/op": 0}), names); err != nil {
+		t.Fatalf("clean artifact rejected: %v", err)
+	}
+	if err := CheckZeroAlloc(mk(map[string]float64{"ns/op": 100, "allocs/op": 2}), names); err == nil ||
+		!strings.Contains(err.Error(), "allocates") {
+		t.Fatalf("allocating benchmark not flagged: %v", err)
+	}
+	if err := CheckZeroAlloc(mk(map[string]float64{"ns/op": 100}), names); err == nil ||
+		!strings.Contains(err.Error(), "benchmem") {
+		t.Fatalf("missing metric not flagged: %v", err)
+	}
+	if err := CheckZeroAlloc(&Report{Version: Version}, names); err == nil ||
+		!strings.Contains(err.Error(), "not in artifact") {
+		t.Fatalf("missing benchmark not flagged: %v", err)
 	}
 }
 

@@ -19,7 +19,7 @@ func TestBuildSingleAllSoftwareTargets(t *testing.T) {
 	res := d.BuildOne(Request{
 		Path:    "abro.ecl",
 		Source:  paperex.ABRO,
-		Targets: []Target{TargetEsterel, TargetC, TargetGo, TargetGlue, TargetDot, TargetStats},
+		Targets: []Target{TargetEsterel, TargetC, TargetGo, TargetGlue, TargetDot, TargetTable, TargetStats},
 	})
 	if res.Failed() {
 		t.Fatalf("build failed: %v", res.Err)
@@ -32,6 +32,7 @@ func TestBuildSingleAllSoftwareTargets(t *testing.T) {
 		TargetC:       "abro_react",
 		TargetGo:      "package abro",
 		TargetDot:     "digraph",
+		TargetTable:   "table abro: states=",
 		TargetStats:   "EFSM:",
 	}
 	for target, want := range checks {
@@ -319,7 +320,7 @@ func TestParseTargets(t *testing.T) {
 	if dup, err := ParseTargets("c,c,esterel,c"); err != nil || len(dup) != 2 {
 		t.Errorf("dedup: targets = %v, err = %v", dup, err)
 	}
-	if len(AllTargets()) != 8 {
+	if len(AllTargets()) != 9 {
 		t.Errorf("AllTargets = %v", AllTargets())
 	}
 }
@@ -327,7 +328,7 @@ func TestParseTargets(t *testing.T) {
 func TestTargetFilenames(t *testing.T) {
 	cases := map[Target]string{
 		TargetEsterel: "m.strl", TargetC: "m.c", TargetGo: "m_gen.go",
-		TargetGlue: "m_glue.h", TargetDot: "m.dot",
+		TargetGlue: "m_glue.h", TargetDot: "m.dot", TargetTable: "m.efsmtab",
 		TargetVerilog: "m.v", TargetVHDL: "m.vhd", TargetStats: "",
 	}
 	for target, want := range cases {

@@ -21,6 +21,7 @@ const (
 	TargetGo      Target = "go"
 	TargetGlue    Target = "glue"
 	TargetDot     Target = "dot"
+	TargetTable   Target = "table"
 	TargetVerilog Target = "verilog"
 	TargetVHDL    Target = "vhdl"
 	TargetStats   Target = "stats"
@@ -29,7 +30,7 @@ const (
 // AllTargets lists every target the driver knows, in a stable order.
 func AllTargets() []Target {
 	return []Target{TargetEsterel, TargetC, TargetGo, TargetGlue,
-		TargetDot, TargetVerilog, TargetVHDL, TargetStats}
+		TargetDot, TargetTable, TargetVerilog, TargetVHDL, TargetStats}
 }
 
 // ParseTargets parses a comma-separated target list (as accepted by
@@ -46,7 +47,7 @@ func ParseTargets(s string) ([]Target, error) {
 		t := Target(item)
 		switch t {
 		case TargetEsterel, TargetC, TargetGo, TargetGlue,
-			TargetDot, TargetVerilog, TargetVHDL, TargetStats:
+			TargetDot, TargetTable, TargetVerilog, TargetVHDL, TargetStats:
 			if !seen[t] {
 				seen[t] = true
 				out = append(out, t)
@@ -72,6 +73,8 @@ func (t Target) Filename(module string) string {
 		return module + "_glue.h"
 	case TargetDot:
 		return module + ".dot"
+	case TargetTable:
+		return module + ".efsmtab"
 	case TargetVerilog:
 		return module + ".v"
 	case TargetVHDL:

@@ -1,0 +1,432 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/efsm"
+	"repro/internal/kernel"
+	"repro/internal/sem"
+	"repro/internal/token"
+)
+
+// ---------------------------------------------------------------------------
+// Reactive layer: decision trees and actions
+
+func (c *compiler) tree(n efsm.Node, st *efsm.State) {
+	switch n := n.(type) {
+	case *efsm.Leaf:
+		next := int32(-1)
+		if n.To != nil {
+			i, ok := c.stateIdx[n.To]
+			if !ok {
+				c.emitErr("state s%d: successor not in machine", st.ID)
+				return
+			}
+			next = i
+		}
+		term := int32(0)
+		if n.Terminal {
+			term = 1
+		}
+		c.emit(opEnd, next, term)
+
+	case *efsm.ActNode:
+		c.action(n.Act, st)
+		c.tree(n.Next, st)
+
+	case *efsm.InputBranch:
+		si, ok := c.sigIdx[n.Sig]
+		if !ok {
+			c.emitErr("state s%d: unknown signal %s", st.ID, n.Sig.Name)
+			return
+		}
+		br := c.emit(opBranchIn, si, 0)
+		c.tree(n.Then, st) // every path ends in opEnd/opError: no join
+		c.patchB(br, c.here())
+		c.tree(n.Else, st)
+
+	case *efsm.DataBranch:
+		c.expr(ectx{b: n.Expr.B}, n.Expr.E)
+		jf := c.emit(opJumpFalse, 0, 0)
+		c.tree(n.Then, st)
+		c.patchA(jf, c.here())
+		c.tree(n.Else, st)
+
+	default:
+		c.emitErr("state s%d: nil decision-tree node", st.ID)
+	}
+}
+
+func (c *compiler) action(a efsm.Action, st *efsm.State) {
+	switch a.Kind {
+	case efsm.ActEmit:
+		mi := c.emitMetaFor(a.Sig)
+		if a.Value != nil {
+			c.expr(ectx{b: a.Value.B}, a.Value.E)
+			if c.p.emits[mi].valOff < 0 {
+				c.emitErr("emit %s: signal carries no value slot", a.Sig.Name)
+				c.adj(-1)
+				return
+			}
+			c.emit(opEmit, mi, 1)
+		} else {
+			c.emit(opEmit, mi, 0)
+		}
+	case efsm.ActAssign:
+		c.lvalue(ectx{b: a.LHS.B}, a.LHS.E)
+		c.expr(ectx{b: a.RHS.B}, a.RHS.E)
+		c.emit(opAssign, 0, 0)
+		c.emit(opDrop, 0, 0)
+	case efsm.ActEval:
+		c.expr(ectx{b: a.X.B}, a.X.E)
+		c.emit(opDrop, 0, 0)
+	case efsm.ActCall:
+		if a.F == nil {
+			c.emitErr("state s%d: nil data function", st.ID)
+			return
+		}
+		c.emit(opCallData, c.dataFuncFor(a.F), 0)
+	default:
+		c.emitErr("state s%d: unknown action kind %d", st.ID, a.Kind)
+	}
+}
+
+func (c *compiler) emitMetaFor(sig *kernel.Signal) int32 {
+	if i, ok := c.emitIdx[sig]; ok {
+		return i
+	}
+	em := emitMeta{name: sig.Name, sig: c.presenceOf(sig), outSlot: -1, valOff: -1}
+	if j, ok := c.outSlot[sig]; ok {
+		em.outSlot = j
+	}
+	if gs, ok := c.sigSlot[sig]; ok {
+		em.valOff, em.valTyp = gs.off, gs.typ
+		em.valSize = c.p.types[gs.typ].size
+	}
+	i := int32(len(c.p.emits))
+	c.p.emits = append(c.p.emits, em)
+	c.emitIdx[sig] = i
+	return i
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (each compiles to a net push of one value)
+
+func (c *compiler) expr(cx ectx, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		switch obj := c.info.Uses[e].(type) {
+		case *sem.VarInfo:
+			c.varRef(cx, obj)
+		case *sem.SignalInfo:
+			sig := cx.b.Sigs[obj]
+			if sig == nil {
+				c.exprErr("signal %q unbound in instance %s", e.Name, cx.b.Label)
+				return
+			}
+			gs, ok := c.sigSlot[sig]
+			if !ok {
+				c.exprErr("signal %s carries no value", sig.Name)
+				return
+			}
+			c.emit(opPushG, gs.off, gs.typ)
+		case *sem.ConstInfo:
+			c.pushInt(c.p.tInt, obj.Value)
+		default:
+			c.exprErr("cannot evaluate %q", e.Name)
+		}
+
+	case *ast.BasicLit:
+		switch e.Kind {
+		case token.INT:
+			v, ok := c.info.ConstEval(e)
+			if !ok {
+				c.exprErr("bad integer literal %q", e.Value)
+				return
+			}
+			c.pushInt(c.p.tInt, v)
+		case token.CHAR:
+			v, ok := c.info.ConstEval(e)
+			if !ok {
+				c.exprErr("bad char literal %q", e.Value)
+				return
+			}
+			c.pushInt(c.tChar, v)
+		case token.FLOAT:
+			var f float64
+			if _, err := fmt.Sscanf(e.Value, "%g", &f); err != nil {
+				c.exprErr("bad float literal %q", e.Value)
+				return
+			}
+			c.pushFloat(c.p.tDouble, f)
+		default:
+			c.exprErr("unsupported literal %q", e.Value)
+		}
+
+	case *ast.Paren:
+		c.expr(cx, e.X)
+
+	case *ast.Unary:
+		c.unary(cx, e)
+
+	case *ast.Postfix:
+		c.lvalue(cx, e.X)
+		delta := int32(1)
+		if e.Op == token.DEC {
+			delta = -1
+		}
+		c.emit(opIncDec, delta, 1)
+
+	case *ast.Binary:
+		c.binary(cx, e)
+
+	case *ast.Assign:
+		c.lvalue(cx, e.LHS)
+		c.expr(cx, e.RHS)
+		if e.Op == token.ASSIGN {
+			c.emit(opAssign, 0, 0)
+			return
+		}
+		binOp, ok := assignBinOp(e.Op)
+		if !ok {
+			c.emitErr("unsupported assignment operator %q", e.Op)
+			c.adj(-1)
+			return
+		}
+		c.emit(opAssignOp, int32(binOp), 0)
+
+	case *ast.Cond:
+		c.expr(cx, e.CondX)
+		jf := c.emit(opJumpFalse, 0, 0)
+		d0 := c.depth
+		c.expr(cx, e.Then)
+		j := c.emit(opJump, 0, 0)
+		c.patchA(jf, c.here())
+		c.depth = d0
+		c.expr(cx, e.Else)
+		c.patchA(j, c.here())
+
+	case *ast.Call:
+		c.call(cx, e)
+
+	case *ast.Index:
+		c.expr(cx, e.X)
+		c.expr(cx, e.Sub)
+		c.emit(opIndex, 0, 0)
+
+	case *ast.Member:
+		if e.Arrow {
+			c.exprErr("pointer member access not supported at runtime")
+			return
+		}
+		c.expr(cx, e.X)
+		c.emit(opField, c.name(e.Name), 0)
+
+	case *ast.Cast:
+		c.expr(cx, e.X)
+		to := c.info.TypeOfExpr[e.Type]
+		if to == nil {
+			c.emitErr("unresolved cast target type")
+			return
+		}
+		ti, ok := c.intern(to)
+		if !ok {
+			c.emitErr("cannot convert to %s", to)
+			return
+		}
+		c.emit(opConvert, ti, 0)
+
+	case *ast.SizeofExpr:
+		// The operand is never evaluated (mirrors dataexec).
+		if e.Type != nil {
+			t := c.info.TypeOfExpr[e.Type]
+			if t == nil {
+				c.exprErr("unresolved sizeof type")
+				return
+			}
+			c.pushInt(c.p.tUint, int64(t.Size()))
+			return
+		}
+		t := c.info.ExprType[e.X]
+		if t == nil {
+			c.exprErr("unresolved sizeof operand")
+			return
+		}
+		c.pushInt(c.p.tUint, int64(t.Size()))
+
+	default:
+		c.exprErr("cannot evaluate %T", e)
+	}
+}
+
+func (c *compiler) varRef(cx ectx, vi *sem.VarInfo) {
+	if cx.fn != nil {
+		if ls, ok := cx.fn.locals[vi]; ok {
+			c.emit(opPushL, ls.off, ls.typ)
+			return
+		}
+	}
+	kv := cx.b.Vars[vi]
+	if kv == nil {
+		c.exprErr("variable %q unbound in instance %s", vi.Name, cx.b.Label)
+		return
+	}
+	gs, ok := c.varSlot[kv]
+	if !ok {
+		c.exprErr("unknown variable %s", kv.Name)
+		return
+	}
+	c.emit(opPushG, gs.off, gs.typ)
+}
+
+func (c *compiler) lvalue(cx ectx, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		vi, ok := c.info.Uses[e].(*sem.VarInfo)
+		if !ok {
+			c.exprErr("%q is not an assignable variable", e.Name)
+			return
+		}
+		c.varRef(cx, vi)
+	case *ast.Paren:
+		c.lvalue(cx, e.X)
+	case *ast.Index:
+		c.lvalue(cx, e.X)
+		c.expr(cx, e.Sub)
+		c.emit(opIndex, 0, 0)
+	case *ast.Member:
+		if e.Arrow {
+			c.exprErr("pointer member access not supported at runtime")
+			return
+		}
+		c.lvalue(cx, e.X)
+		c.emit(opField, c.name(e.Name), 0)
+	default:
+		c.exprErr("expression is not assignable")
+	}
+}
+
+func (c *compiler) unary(cx ectx, e *ast.Unary) {
+	switch e.Op {
+	case token.INC, token.DEC:
+		c.lvalue(cx, e.X)
+		delta := int32(1)
+		if e.Op == token.DEC {
+			delta = -1
+		}
+		c.emit(opIncDec, delta, 0)
+	case token.ADD:
+		c.expr(cx, e.X)
+	case token.SUB:
+		c.expr(cx, e.X)
+		c.emit(opUnary, uNeg, 0)
+	case token.NOT:
+		c.expr(cx, e.X)
+		c.emit(opUnary, uNot, 0)
+	case token.TILDE:
+		c.expr(cx, e.X)
+		c.emit(opUnary, uTilde, 0)
+	default:
+		// The operand's side effects happen first (mirrors dataexec's
+		// eval-then-reject order).
+		c.expr(cx, e.X)
+		c.emitErr("unsupported unary operator %q", e.Op)
+	}
+}
+
+func (c *compiler) binary(cx ectx, e *ast.Binary) {
+	switch e.Op {
+	case token.COMMA:
+		c.expr(cx, e.X)
+		c.emit(opDrop, 0, 0)
+		c.expr(cx, e.Y)
+	case token.LAND:
+		c.expr(cx, e.X)
+		jf1 := c.emit(opJumpFalse, 0, 0)
+		d0 := c.depth
+		c.expr(cx, e.Y)
+		jf2 := c.emit(opJumpFalse, 0, 0)
+		c.pushInt(c.p.tInt, 1)
+		j := c.emit(opJump, 0, 0)
+		lf := c.here()
+		c.patchA(jf1, lf)
+		c.patchA(jf2, lf)
+		c.depth = d0
+		c.pushInt(c.p.tInt, 0)
+		c.patchA(j, c.here())
+	case token.LOR:
+		c.expr(cx, e.X)
+		jt1 := c.emit(opJumpTrue, 0, 0)
+		d0 := c.depth
+		c.expr(cx, e.Y)
+		jt2 := c.emit(opJumpTrue, 0, 0)
+		c.pushInt(c.p.tInt, 0)
+		j := c.emit(opJump, 0, 0)
+		lt := c.here()
+		c.patchA(jt1, lt)
+		c.patchA(jt2, lt)
+		c.depth = d0
+		c.pushInt(c.p.tInt, 1)
+		c.patchA(j, c.here())
+	default:
+		c.expr(cx, e.X)
+		c.expr(cx, e.Y)
+		c.emit(opBinary, int32(e.Op), 0)
+	}
+}
+
+func assignBinOp(op token.Kind) (token.Kind, bool) {
+	switch op {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	case token.AND_ASSIGN:
+		return token.AND, true
+	case token.OR_ASSIGN:
+		return token.OR, true
+	case token.XOR_ASSIGN:
+		return token.XOR, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	case token.SHR_ASSIGN:
+		return token.SHR, true
+	}
+	return 0, false
+}
+
+func (c *compiler) call(cx ectx, e *ast.Call) {
+	fi, ok := c.info.Uses[e.Fun].(*sem.FuncInfo)
+	if !ok {
+		c.exprErr("call of non-function %q", e.Fun.Name)
+		return
+	}
+	if fi.Decl == nil || fi.Decl.Body == nil {
+		c.exprErr("function %q has no body", fi.Name)
+		return
+	}
+	idx := c.funcFor(funcKey{fi: fi, b: cx.b})
+	d0 := c.depth
+	// The depth limit fires before argument evaluation (mirrors
+	// dataexec's frame check at call entry).
+	c.emit(opChkDepth, idx, 0)
+	for i := range fi.Params {
+		if i >= len(e.Args) {
+			// Earlier arguments' side effects happen, then the arity
+			// error (mirrors dataexec's per-parameter check).
+			c.emitErr("too few arguments to %q", fi.Name)
+			c.depth = d0 + 1
+			return
+		}
+		c.expr(cx, e.Args[i])
+	}
+	// Arguments beyond the parameter list are never evaluated.
+	c.emit(opCall, idx, int32(len(fi.Params)))
+}

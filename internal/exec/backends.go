@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cval"
 	"repro/internal/efsm"
+	"repro/internal/efsm/table"
 	"repro/internal/interp"
 	"repro/internal/sem"
 	"repro/internal/sim"
@@ -29,7 +30,7 @@ func init() {
 			return &interpMachine{
 				tbl: newSigTable(mod.Inputs, mod.Outputs),
 				d:   d,
-				m:   d.Interpreter(),
+				m:   interp.NewMachine(mod, d.Program.Info),
 			}, nil
 		},
 	})
@@ -48,6 +49,12 @@ func init() {
 		Open: func(d *core.Design) (Machine, error) {
 			return newEFSMMachine("efsm-min", d, minimized(d)), nil
 		},
+	})
+	Register(Backend{
+		Name:        "efsm-table",
+		Description: "table-compiled EFSM: flat bytecode over a preallocated arena, slot-indexed I/O",
+		Conformant:  true,
+		Open:        openTable,
 	})
 	Register(Backend{
 		Name:        "sim",
@@ -209,6 +216,99 @@ func (em *efsmMachine) Restore(s Snapshot) error {
 	}
 	if err := em.rt.Restore(snap); err != nil {
 		return fmt.Errorf("exec: %s: %w", em.name, err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// efsm-table backend
+
+// tableMachine runs the table-compiled form of the minimized EFSM. It
+// is the exec hot path's native citizen: StepSlots is the real stepping
+// interface (zero allocations in steady state), and the map Step is a
+// thin adapter over it.
+type tableMachine struct {
+	d       *core.Design
+	m       *table.Machine
+	ports   *Ports
+	adapter *SlotAdapter
+}
+
+func openTable(d *core.Design) (Machine, error) {
+	min := minimized(d)
+	prog, err := table.For(min)
+	if err != nil {
+		return nil, fmt.Errorf("exec: efsm-table: %w", err)
+	}
+	ports := newPortsFromKernel(min.Inputs, min.Outputs)
+	return &tableMachine{
+		d:       d,
+		m:       table.New(prog),
+		ports:   ports,
+		adapter: NewSlotAdapter(ports),
+	}, nil
+}
+
+func (tm *tableMachine) Backend() string   { return "efsm-table" }
+func (tm *tableMachine) Module() string    { return tm.m.Program().Name() }
+func (tm *tableMachine) Inputs() []Signal  { return tm.ports.Inputs() }
+func (tm *tableMachine) Outputs() []Signal { return tm.ports.Outputs() }
+func (tm *tableMachine) Terminated() bool  { return tm.m.Terminated() }
+
+func (tm *tableMachine) Ports() *Ports { return tm.ports }
+
+func (tm *tableMachine) StepSlots(present []bool, in, out []cval.Value) (bool, error) {
+	return tm.m.Step(present, in, out)
+}
+
+func (tm *tableMachine) Step(inputs map[string]cval.Value) (*Result, error) {
+	return tm.adapter.Step(tm.m.Step, inputs)
+}
+
+func (tm *tableMachine) Reset() error {
+	tm.m.Reset()
+	return nil
+}
+
+func (tm *tableMachine) Snapshot() (Snapshot, error) { return tm.m.Snapshot(), nil }
+
+func (tm *tableMachine) encodeSnapshot(s Snapshot) (*SnapshotBlob, error) {
+	snap, ok := s.(*table.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("exec: efsm-table: cannot encode %T", s)
+	}
+	p := snap.Portable()
+	return &SnapshotBlob{
+		State: strconv.Itoa(p.StateID), Done: p.Done,
+		Vars: encodeByteMap(p.Vars), Sigs: encodeByteMap(p.Sigs),
+	}, nil
+}
+
+func (tm *tableMachine) decodeSnapshot(b *SnapshotBlob) (Snapshot, error) {
+	stateID, err := strconv.Atoi(b.State)
+	if err != nil {
+		return nil, fmt.Errorf("exec: efsm-table: snapshot blob: bad state %q", b.State)
+	}
+	vars, err := decodeByteMap(b.Vars)
+	if err != nil {
+		return nil, fmt.Errorf("exec: efsm-table: snapshot blob: %w", err)
+	}
+	sigs, err := decodeByteMap(b.Sigs)
+	if err != nil {
+		return nil, fmt.Errorf("exec: efsm-table: snapshot blob: %w", err)
+	}
+	return tm.m.SnapshotFromPortable(&efsm.PortableSnapshot{
+		StateID: stateID, Done: b.Done, Vars: vars, Sigs: sigs,
+	})
+}
+
+func (tm *tableMachine) Restore(s Snapshot) error {
+	snap, ok := s.(*table.Snapshot)
+	if !ok {
+		return fmt.Errorf("exec: efsm-table: cannot restore %T", s)
+	}
+	if err := tm.m.Restore(snap); err != nil {
+		return fmt.Errorf("exec: efsm-table: %w", err)
 	}
 	return nil
 }

@@ -60,6 +60,13 @@ var ErrUnsupported = errors.New("exec: operation not supported by this backend")
 
 // Machine is one runnable instance of a compiled design. Machines are
 // not safe for concurrent use; the Session layer serializes access.
+//
+// Extension interfaces: a backend whose hot path is slot-indexed also
+// implements SlotStepper (Ports plus StepSlots); consumers must
+// type-assert and fall back to Step when the assertion fails, and a
+// machine that implements SlotStepper must give both paths identical
+// observable behavior — Step is conventionally a thin adapter
+// (SlotAdapter) over StepSlots.
 type Machine interface {
 	// Backend names the engine that opened this machine.
 	Backend() string

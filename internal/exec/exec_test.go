@@ -48,7 +48,7 @@ func randomInstantsFor(rng *rand.Rand, m Machine, n int, p float64) []map[string
 
 func TestRegistry(t *testing.T) {
 	names := Backends()
-	for _, want := range []string{"interp", "efsm", "efsm-min", "sim"} {
+	for _, want := range []string{"interp", "efsm", "efsm-min", "efsm-table", "sim"} {
 		found := false
 		for _, n := range names {
 			if n == want {

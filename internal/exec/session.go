@@ -29,6 +29,11 @@ type sessionEntry struct {
 	backend string
 	design  *core.Design
 	m       Machine
+	// slots is non-nil when the machine steps through the slot-indexed
+	// hot path (SlotStepper); the batch loops then bypass per-instant
+	// map translation inside the backend. Guarded by mu like the
+	// machine itself.
+	slots   *stepSlotScratch
 	instant int
 	// closed marks an entry whose machine has been shut down (Close or
 	// Evict). It is guarded by mu, so setting it serializes with any
@@ -46,6 +51,26 @@ func (e *sessionEntry) guard(id string) error {
 	return nil
 }
 
+// step runs one instant through the machine's fastest stepping path;
+// call with e.mu held.
+func (e *sessionEntry) step(in map[string]cval.Value) (*Result, error) {
+	if e.slots != nil {
+		return e.slots.step(in)
+	}
+	return e.m.Step(in)
+}
+
+// newSessionEntry prepares an entry, detecting the slot-indexed path.
+func newSessionEntry(backend string, d *core.Design, m Machine, instant int) *sessionEntry {
+	return &sessionEntry{
+		backend: backend,
+		design:  d,
+		m:       m,
+		slots:   newStepSlotScratch(m),
+		instant: instant,
+	}
+}
+
 // NewSession returns an empty session.
 func NewSession() *Session {
 	return &Session{entries: map[string]*sessionEntry{}}
@@ -59,7 +84,7 @@ func (s *Session) Open(id, backend string, d *core.Design) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return s.add(id, &sessionEntry{backend: backend, design: d, m: m})
+	return s.add(id, newSessionEntry(backend, d, m, 0))
 }
 
 // add registers a fully initialized entry; other goroutines can only
@@ -107,7 +132,7 @@ func (s *Session) Step(id string, inputs map[string]cval.Value) (*Result, error)
 	if err := e.guard(id); err != nil {
 		return nil, err
 	}
-	res, err := e.m.Step(inputs)
+	res, err := e.step(inputs)
 	if err != nil {
 		return nil, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
 	}
@@ -133,7 +158,7 @@ func (s *Session) StepBatch(id string, batch []map[string]cval.Value) ([]*Result
 	}
 	results := make([]*Result, 0, len(batch))
 	for _, in := range batch {
-		res, err := e.m.Step(in)
+		res, err := e.step(in)
 		if err != nil {
 			return results, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
 		}
@@ -168,7 +193,7 @@ func (s *Session) StepEvents(id string, inputs []map[string]string) ([]Event, er
 		if err != nil {
 			return events, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
 		}
-		res, err := e.m.Step(in)
+		res, err := e.step(in)
 		if err != nil {
 			return events, fmt.Errorf("machine %q instant %d: %w", id, e.instant, err)
 		}
@@ -295,7 +320,7 @@ func (s *Session) Fork(src, dst string) (string, error) {
 	if err := m.Restore(snap); err != nil {
 		return "", fmt.Errorf("session: fork %q: %w", src, err)
 	}
-	return s.add(dst, &sessionEntry{backend: e.backend, design: e.design, m: m, instant: instant})
+	return s.add(dst, newSessionEntry(e.backend, e.design, m, instant))
 }
 
 // Close removes the identified machine. It serializes with the
@@ -380,7 +405,7 @@ func (s *Session) Restore(id, backend string, d *core.Design, blob []byte) (stri
 	if err := m.Restore(snap); err != nil {
 		return "", fmt.Errorf("session: restore %q: %w", id, err)
 	}
-	return s.add(id, &sessionEntry{backend: backend, design: d, m: m, instant: instant})
+	return s.add(id, newSessionEntry(backend, d, m, instant))
 }
 
 // IDs lists the session's machine ids, sorted.

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/cval"
+	"repro/internal/kernel"
+)
+
+// Ports is the slot-indexed view of a machine's signal interface: each
+// input and output signal gets a fixed integer slot, resolved from
+// names once when the machine is opened. The exec hot path is designed
+// around it — a SlotStepper steps over presence vectors and value
+// arrays positioned by slot, so the per-instant cost is array indexing
+// instead of map hashing, and a caller that reuses the buffers Ports
+// hands out steps without allocating.
+//
+// The presence vector layout is inputs first, then outputs: input i is
+// bit i, output j is bit NumInputs()+j.
+type Ports struct {
+	inputs  []Signal
+	outputs []Signal
+	inSlot  map[string]int
+	outSlot map[string]int
+	inNames []string // sorted, for error messages
+}
+
+// NewPorts builds a port table over a machine's signal interface. Slot
+// order is the given signal order — for the built-in backends, module
+// declaration order.
+func NewPorts(inputs, outputs []Signal) *Ports {
+	p := &Ports{
+		inputs:  inputs,
+		outputs: outputs,
+		inSlot:  make(map[string]int, len(inputs)),
+		outSlot: make(map[string]int, len(outputs)),
+		inNames: make([]string, 0, len(inputs)),
+	}
+	for i, s := range inputs {
+		p.inSlot[s.Name] = i
+		p.inNames = append(p.inNames, s.Name)
+	}
+	sort.Strings(p.inNames)
+	for j, s := range outputs {
+		p.outSlot[s.Name] = j
+	}
+	return p
+}
+
+// newPortsFromKernel builds a port table straight from kernel signals.
+func newPortsFromKernel(inputs, outputs []*kernel.Signal) *Ports {
+	ins := make([]Signal, len(inputs))
+	for i, s := range inputs {
+		ins[i] = Signal{Name: s.Name, Pure: s.Pure, Type: s.Type}
+	}
+	outs := make([]Signal, len(outputs))
+	for j, s := range outputs {
+		outs[j] = Signal{Name: s.Name, Pure: s.Pure, Type: s.Type}
+	}
+	return NewPorts(ins, outs)
+}
+
+// NumInputs returns the input slot count.
+func (p *Ports) NumInputs() int { return len(p.inputs) }
+
+// NumOutputs returns the output slot count.
+func (p *Ports) NumOutputs() int { return len(p.outputs) }
+
+// Inputs lists the input signals in slot order.
+func (p *Ports) Inputs() []Signal { return p.inputs }
+
+// Outputs lists the output signals in slot order.
+func (p *Ports) Outputs() []Signal { return p.outputs }
+
+// InputSlot resolves an input signal name to its slot.
+func (p *Ports) InputSlot(name string) (int, bool) {
+	i, ok := p.inSlot[name]
+	return i, ok
+}
+
+// OutputSlot resolves an output signal name to its slot.
+func (p *Ports) OutputSlot(name string) (int, bool) {
+	j, ok := p.outSlot[name]
+	return j, ok
+}
+
+// PresentLen returns the presence vector length (inputs then outputs).
+func (p *Ports) PresentLen() int { return len(p.inputs) + len(p.outputs) }
+
+// NewPresent allocates a presence vector of the right length.
+func (p *Ports) NewPresent() []bool { return make([]bool, p.PresentLen()) }
+
+// NewInputs allocates the input value array (all entries invalid — the
+// caller fills the slots of the valued inputs it presents).
+func (p *Ports) NewInputs() []cval.Value { return make([]cval.Value, len(p.inputs)) }
+
+// NewOutputs allocates the output value array with storage of each
+// valued output's type preallocated, so a SlotStepper can copy emitted
+// value bytes in place and the steady-state step never allocates. Pure
+// output slots stay invalid.
+func (p *Ports) NewOutputs() []cval.Value {
+	out := make([]cval.Value, len(p.outputs))
+	for j, s := range p.outputs {
+		if !s.Pure && s.Type != nil {
+			out[j] = cval.New(s.Type)
+		}
+	}
+	return out
+}
+
+// BindInstant resolves a string-keyed input instant onto slot vectors:
+// input presence bits are set (output bits are left alone — the step
+// rewrites them), and vals[i] receives input i's supplied value (or the
+// invalid value). Unknown names and values on pure signals are rejected
+// with the same errors as the map Step path.
+func (p *Ports) BindInstant(inputs map[string]cval.Value, present []bool, vals []cval.Value) error {
+	for i := range p.inputs {
+		present[i] = false
+		vals[i] = cval.Value{}
+	}
+	for name, val := range inputs {
+		i, ok := p.inSlot[name]
+		if !ok {
+			return &UnknownInputError{Name: name, Valid: p.inNames}
+		}
+		if val.IsValid() && p.inputs[i].Pure {
+			return &PureValueError{Name: name}
+		}
+		present[i] = true
+		vals[i] = val
+	}
+	return nil
+}
+
+// OutputMap translates a stepped presence vector and output value array
+// back to the string-keyed Result form, cloning values so the caller
+// owns them independently of the reused slot buffers.
+func (p *Ports) OutputMap(present []bool, out []cval.Value) map[string]cval.Value {
+	n := len(p.inputs)
+	named := make(map[string]cval.Value, len(p.outputs))
+	for j, s := range p.outputs {
+		if !present[n+j] {
+			continue
+		}
+		if v := out[j]; v.IsValid() {
+			named[s.Name] = v.Clone()
+		} else {
+			named[s.Name] = cval.Value{}
+		}
+	}
+	return named
+}
+
+// SlotStepper is the optional extension interface of Machine for
+// backends whose hot path is slot-indexed. The Session batch paths,
+// trace recording, and benchmarks detect it and step through slots,
+// bypassing per-instant map construction; everything else keeps using
+// the map Step, which such backends implement as a thin adapter
+// (SlotAdapter).
+type SlotStepper interface {
+	Machine
+
+	// Ports returns the machine's slot resolution table. It is fixed
+	// for the machine's lifetime.
+	Ports() *Ports
+
+	// StepSlots runs one synchronous instant over slot-indexed I/O.
+	// present holds input presence bits [0,NumInputs) set by the
+	// caller; the machine clears and rewrites the output bits
+	// [NumInputs,PresentLen). in[i] optionally carries input slot i's
+	// value (invalid = presence only). out[j] is caller-owned storage
+	// for output slot j: when it has storage of the output type's size
+	// (as NewOutputs preallocates), the machine copies each emitted
+	// value's bytes into it. The caller may reuse all three buffers
+	// across instants; a steady-state step performs no allocations.
+	StepSlots(present []bool, in, out []cval.Value) (terminated bool, err error)
+}
+
+// SlotAdapter implements the map-keyed Step contract on top of a slot
+// stepper, reusing one set of slot buffers across instants. Backends
+// embed one so the slot path is the only stepping code they carry.
+type SlotAdapter struct {
+	ports   *Ports
+	present []bool
+	in      []cval.Value
+	out     []cval.Value
+}
+
+// NewSlotAdapter allocates the adapter's reusable slot buffers.
+func NewSlotAdapter(p *Ports) *SlotAdapter {
+	return &SlotAdapter{ports: p, present: p.NewPresent(), in: p.NewInputs(), out: p.NewOutputs()}
+}
+
+// Ports returns the adapter's port table.
+func (a *SlotAdapter) Ports() *Ports { return a.ports }
+
+// Step binds a string-keyed instant onto the adapter's slot buffers,
+// runs the given slot step, and translates the outputs back to a
+// Result.
+func (a *SlotAdapter) Step(step func(present []bool, in, out []cval.Value) (bool, error),
+	inputs map[string]cval.Value) (*Result, error) {
+	if err := a.ports.BindInstant(inputs, a.present, a.in); err != nil {
+		return nil, err
+	}
+	terminated, err := step(a.present, a.in, a.out)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outputs: a.ports.OutputMap(a.present, a.out), Terminated: terminated}, nil
+}
+
+// stepSlotScratch is the per-entry scratch the Session and trace paths
+// use when a machine turns out to be a SlotStepper: one buffer set,
+// allocated on first use, reused for every instant of that machine.
+type stepSlotScratch struct {
+	s       SlotStepper
+	present []bool
+	in      []cval.Value
+	out     []cval.Value
+}
+
+// newStepSlotScratch prepares scratch for a machine if (and only if) it
+// steps through slots; otherwise it returns nil and callers fall back
+// to the map path.
+func newStepSlotScratch(m Machine) *stepSlotScratch {
+	s, ok := m.(SlotStepper)
+	if !ok {
+		return nil
+	}
+	p := s.Ports()
+	return &stepSlotScratch{s: s, present: p.NewPresent(), in: p.NewInputs(), out: p.NewOutputs()}
+}
+
+// step runs one instant through the slot path, returning the same
+// Result shape as Machine.Step.
+func (sc *stepSlotScratch) step(inputs map[string]cval.Value) (*Result, error) {
+	p := sc.s.Ports()
+	if err := p.BindInstant(inputs, sc.present, sc.in); err != nil {
+		return nil, err
+	}
+	terminated, err := sc.s.StepSlots(sc.present, sc.in, sc.out)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outputs: p.OutputMap(sc.present, sc.out), Terminated: terminated}, nil
+}

@@ -23,7 +23,7 @@ func TestSnapshotBlobRoundTrip(t *testing.T) {
 	}
 	for _, d := range designs {
 		design := buildDesign(t, d.path, d.src, d.module)
-		for _, backend := range []string{"interp", "efsm", "efsm-min"} {
+		for _, backend := range []string{"interp", "efsm", "efsm-min", "efsm-table"} {
 			t.Run(d.module+"/"+backend, func(t *testing.T) {
 				m, err := Open(backend, design)
 				if err != nil {

@@ -185,11 +185,17 @@ func DecodeInstant(m Machine, in map[string]string) (map[string]cval.Value, erro
 
 // Record steps the machine through the input instants, recording a
 // trace. Recording stops after the instant in which the program
-// terminates (that instant is included).
+// terminates (that instant is included). Machines stepping through the
+// slot-indexed hot path (SlotStepper) are driven through it with one
+// reused buffer set.
 func Record(m Machine, instants []map[string]cval.Value) (*Trace, error) {
 	t := NewTrace(m.Module(), m.Backend())
+	step := m.Step
+	if sc := newStepSlotScratch(m); sc != nil {
+		step = sc.step
+	}
 	for i, in := range instants {
-		res, err := m.Step(in)
+		res, err := step(in)
 		if err != nil {
 			return nil, fmt.Errorf("instant %d: %w", i, err)
 		}
@@ -206,12 +212,16 @@ func Record(m Machine, instants []map[string]cval.Value) (*Trace, error) {
 // cross-backend agreement.
 func Replay(m Machine, t *Trace) (*Trace, error) {
 	got := NewTrace(m.Module(), m.Backend())
+	step := m.Step
+	if sc := newStepSlotScratch(m); sc != nil {
+		step = sc.step
+	}
 	for _, ev := range t.Events {
 		in, err := DecodeInstant(m, ev.Inputs)
 		if err != nil {
 			return nil, fmt.Errorf("instant %d: %w", ev.Instant, err)
 		}
-		res, err := m.Step(in)
+		res, err := step(in)
 		if err != nil {
 			return nil, fmt.Errorf("instant %d: %w", ev.Instant, err)
 		}

@@ -23,6 +23,8 @@ func Emit(d *core.Design, phase Phase, goPkg string) (string, error) {
 		return d.GlueText(), nil
 	case PhaseEmitDot:
 		return d.DotText(), nil
+	case PhaseEmitTable:
+		return d.TableText()
 	case PhaseEmitVerilog:
 		return d.VerilogText()
 	case PhaseEmitVHDL:

@@ -59,6 +59,7 @@ const (
 	PhaseEmitGo      Phase = "emit-go"
 	PhaseEmitGlue    Phase = "emit-glue"
 	PhaseEmitDot     Phase = "emit-dot"
+	PhaseEmitTable   Phase = "emit-table"
 	PhaseEmitVerilog Phase = "emit-verilog"
 	PhaseEmitVHDL    Phase = "emit-vhdl"
 	PhaseEmitStats   Phase = "stats"
@@ -76,7 +77,7 @@ func AllPhases() []Phase {
 		PhaseParse, PhaseSem, PhaseLower, PhaseEFSM, PhaseEFSMMin,
 		PhaseAnalyze,
 		PhaseEmitEsterel, PhaseEmitC, PhaseEmitGo, PhaseEmitGlue,
-		PhaseEmitDot, PhaseEmitVerilog, PhaseEmitVHDL, PhaseEmitStats,
+		PhaseEmitDot, PhaseEmitTable, PhaseEmitVerilog, PhaseEmitVHDL, PhaseEmitStats,
 	}
 }
 
@@ -94,6 +95,8 @@ func EmitPhase(target string) (Phase, bool) {
 		return PhaseEmitGlue, true
 	case "dot":
 		return PhaseEmitDot, true
+	case "table":
+		return PhaseEmitTable, true
 	case "verilog":
 		return PhaseEmitVerilog, true
 	case "vhdl":
@@ -118,6 +121,8 @@ func TargetName(ph Phase) string {
 		return "glue"
 	case PhaseEmitDot:
 		return "dot"
+	case PhaseEmitTable:
+		return "table"
 	case PhaseEmitVerilog:
 		return "verilog"
 	case PhaseEmitVHDL:

@@ -304,6 +304,94 @@ func TestDaemonEvictRevive(t *testing.T) {
 	}
 }
 
+// TestDaemonEvictReviveTable parks an efsm-table session as a snapshot
+// blob and revives it: the table backend's slot-indexed machine must
+// round-trip through the daemon's eviction path and continue
+// byte-identically with an interpreter-family twin that never left
+// memory (cross-backend conformance through a park/revive cycle).
+func TestDaemonEvictReviveTable(t *testing.T) {
+	c, daemon := testDaemon(t, func(cfg *Config) {
+		cfg.IdleTTL = 30 * time.Minute
+	})
+	victim, err := c.Open(OpenRequest{
+		ID: "victim", Path: "stack.ecl", Source: paperex.Stack,
+		Module: "toplevel", Backend: "efsm-table",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.Backend != "efsm-table" {
+		t.Fatalf("backend = %q, want efsm-table", victim.Backend)
+	}
+	twin, err := c.Open(OpenRequest{
+		ID: "twin", Path: "stack.ecl", Source: paperex.Stack,
+		Module: "toplevel", Backend: "efsm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	instants := func(n int) []map[string]string {
+		out := make([]map[string]string, n)
+		for i := range out {
+			in := map[string]string{}
+			if rng.Intn(3) != 0 {
+				in["in_byte"] = EncodeIntValue(1, int64(rng.Intn(256)))
+			}
+			out[i] = in
+		}
+		return out
+	}
+	warm := instants(17)
+	if _, err := c.StepEvents(victim.ID, warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StepEvents(twin.ID, warm); err != nil {
+		t.Fatal(err)
+	}
+	// Park the table session; keep the interpreter twin resident.
+	daemon.mu.Lock()
+	rec := daemon.recs[victim.ID]
+	daemon.mu.Unlock()
+	if rec == nil || !daemon.evict(rec) {
+		t.Fatal("victim not evicted")
+	}
+	info, err := c.Info(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Evicted || info.Instant != 17 || info.Backend != "efsm-table" {
+		t.Fatalf("evicted info = %+v", info)
+	}
+	// Stepping revives it; the continuation must match the twin.
+	tail := instants(40)
+	got, err := c.StepEvents(victim.ID, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.StepEvents(twin.ID, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("revived session ran %d instants, twin %d", len(got), len(want))
+	}
+	for i := range want {
+		if exec.ObservationString(got[i].Outputs, got[i].Terminated) !=
+			exec.ObservationString(want[i].Outputs, want[i].Terminated) {
+			t.Fatalf("instant %d: revived table session %v, efsm twin %v",
+				want[i].Instant, got[i].Outputs, want[i].Outputs)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Revivals != 1 || st.Evicted != 0 {
+		t.Fatalf("stats after revival = %+v", st)
+	}
+}
+
 // TestDaemonMaxSessionsLRU opens past the resident bound and checks the
 // least recently touched session is evicted to make room, not refused.
 func TestDaemonMaxSessionsLRU(t *testing.T) {
