@@ -25,6 +25,7 @@ import (
 	"repro/internal/ctypes"
 	"repro/internal/cval"
 	"repro/internal/driver"
+	"repro/internal/eclgen"
 	"repro/internal/efsm"
 	"repro/internal/exec"
 	"repro/internal/lower"
@@ -463,6 +464,40 @@ func incrementalBenchSrc(factor int) string {
 `, factor)
 	sb.WriteString("    }\n}\n")
 	return sb.String()
+}
+
+// BenchmarkMegaDesignBatch compiles every module of a generated
+// 1000-module file (internal/eclgen, fixed seed) to C, comparing the
+// file-level shared front end against the old per-module front end
+// (Driver.NoShare). The per-module baseline re-parses and re-analyzes
+// the whole file for every module — O(modules²) front-end work — so
+// sharing must win by at least 3x (eclbench -compare gates the ratio;
+// on one core it measures well above that). Each iteration builds a
+// fresh driver: the unit map is per-driver, so this times one whole
+// cold batch, not a warm replay.
+func BenchmarkMegaDesignBatch(b *testing.B) {
+	const modules = 1000
+	src := eclgen.File(1, modules)
+	seed := driver.Request{Path: "mega.ecl", Source: src, Targets: []driver.Target{driver.TargetC}}
+	ctx := context.Background()
+	run := func(b *testing.B, noShare bool) {
+		for i := 0; i < b.N; i++ {
+			d := &driver.Driver{NoCache: true, NoShare: noShare}
+			reqs, err := d.ExpandModules(seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(reqs) != modules {
+				b.Fatalf("expanded to %d modules, want %d", len(reqs), modules)
+			}
+			if _, err := d.Build(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(modules, "modules")
+	}
+	b.Run("shared", func(b *testing.B) { run(b, false) })
+	b.Run("per-module", func(b *testing.B) { run(b, true) })
 }
 
 var incrementalBenchTargets = []driver.Target{driver.TargetC, driver.TargetEsterel, driver.TargetStats}

@@ -131,6 +131,10 @@ func compareBench(args []string, maxRegress float64) {
 		fatal(err)
 	}
 	fmt.Printf("Zero-alloc gate: %d benchmark(s) allocation-free\n", len(benchfmt.ZeroAllocBenches))
+	if err := benchfmt.CheckSpeedups(newRep, benchfmt.SpeedupGates); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Speedup gate: %d invariant(s) hold\n", len(benchfmt.SpeedupGates))
 	if cmp.Regressed {
 		os.Exit(1)
 	}

@@ -94,35 +94,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	batch := *all || sawDir || len(paths) > 1
-	perFile := make([][]driver.Request, len(paths))
-	var wg sync.WaitGroup
-	for i, path := range paths {
-		seed := driver.Request{Path: path, Module: *module, Targets: targets, Options: opts, Analyze: *vet}
-		if *module != "" || !batch {
-			perFile[i] = []driver.Request{seed}
-			continue
-		}
-		// Expand each file's module list concurrently (it costs a
-		// front-end pass per file). A file that fails to expand (e.g.
-		// a parse error) still joins the batch unexpanded: the driver
-		// reports it as a structured failure while the other files
-		// compile.
-		wg.Add(1)
-		go func(i int, seed driver.Request) {
-			defer wg.Done()
-			if expanded, err := driver.ExpandModules(seed); err == nil {
-				perFile[i] = expanded
-			} else {
-				perFile[i] = []driver.Request{seed}
-			}
-		}(i, seed)
-	}
-	wg.Wait()
-	var reqs []driver.Request
-	for _, rs := range perFile {
-		reqs = append(reqs, rs...)
-	}
 
 	d := driver.New(*jobs)
 	if !*noDiskCache {
@@ -145,6 +116,39 @@ func main() {
 			d.Remote = rc
 		}
 	}
+
+	batch := *all || sawDir || len(paths) > 1
+	perFile := make([][]driver.Request, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		seed := driver.Request{Path: path, Module: *module, Targets: targets, Options: opts, Analyze: *vet}
+		if *module != "" || !batch {
+			perFile[i] = []driver.Request{seed}
+			continue
+		}
+		// Expand each file's module list concurrently. Expanding
+		// through the build driver runs each file's front end exactly
+		// once: the per-module builds below reuse the file unit
+		// (phase=sem status=shared) instead of re-parsing. A file that
+		// fails to expand (e.g. a parse error) still joins the batch
+		// unexpanded: the driver reports it as a structured failure
+		// while the other files compile.
+		wg.Add(1)
+		go func(i int, seed driver.Request) {
+			defer wg.Done()
+			if expanded, err := d.ExpandModules(seed); err == nil {
+				perFile[i] = expanded
+			} else {
+				perFile[i] = []driver.Request{seed}
+			}
+		}(i, seed)
+	}
+	wg.Wait()
+	var reqs []driver.Request
+	for _, rs := range perFile {
+		reqs = append(reqs, rs...)
+	}
+
 	results, _ := d.Build(context.Background(), reqs)
 	if d.Remote != nil {
 		// Drain the async uploads before reporting stats or exiting, so
@@ -236,8 +240,8 @@ func printExplain(d *driver.Driver, results []driver.Result) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr,
-			"eclc: phase-stats phase=%s mem-hits=%d disk-hits=%d remote-hits=%d rebuilds=%d failures=%d\n",
-			ph, c.MemHits, c.DiskHits, c.RemoteHits, c.Rebuilds, c.Failures)
+			"eclc: phase-stats phase=%s mem-hits=%d disk-hits=%d remote-hits=%d shared=%d rebuilds=%d failures=%d\n",
+			ph, c.MemHits, c.DiskHits, c.RemoteHits, c.Shared, c.Rebuilds, c.Failures)
 	}
 }
 

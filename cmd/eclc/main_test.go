@@ -167,7 +167,7 @@ func TestExplainReportsPhaseTable(t *testing.T) {
 	if !strings.Contains(edited, "phase=emit-c status=rebuilt") {
 		t.Fatalf("edited explain lacks emit-c rebuild:\n%s", edited)
 	}
-	if !strings.Contains(edited, "phase-stats phase=efsm mem-hits=0 disk-hits=1 remote-hits=0 rebuilds=0 failures=0") {
+	if !strings.Contains(edited, "phase-stats phase=efsm mem-hits=0 disk-hits=1 remote-hits=0 shared=0 rebuilds=0 failures=0") {
 		t.Fatalf("edited explain lacks phase-stats summary:\n%s", edited)
 	}
 

@@ -87,31 +87,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	batch := *all || sawDir || len(paths) > 1
-	perFile := make([][]driver.Request, len(paths))
-	var wg sync.WaitGroup
-	for i, path := range paths {
-		seed := driver.Request{Path: path, Module: *module, Options: opts, Analyze: true}
-		if *module != "" || !batch {
-			perFile[i] = []driver.Request{seed}
-			continue
-		}
-		wg.Add(1)
-		go func(i int, seed driver.Request) {
-			defer wg.Done()
-			if expanded, err := driver.ExpandModules(seed); err == nil {
-				perFile[i] = expanded
-			} else {
-				perFile[i] = []driver.Request{seed}
-			}
-		}(i, seed)
-	}
-	wg.Wait()
-	var reqs []driver.Request
-	for _, rs := range perFile {
-		reqs = append(reqs, rs...)
-	}
-
 	d := driver.New(*jobs)
 	if !*noDiskCache {
 		store, err := cache.Open(*cacheDir)
@@ -128,6 +103,33 @@ func main() {
 		} else {
 			d.Remote = rc
 		}
+	}
+
+	batch := *all || sawDir || len(paths) > 1
+	perFile := make([][]driver.Request, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		seed := driver.Request{Path: path, Module: *module, Options: opts, Analyze: true}
+		if *module != "" || !batch {
+			perFile[i] = []driver.Request{seed}
+			continue
+		}
+		// Expanding through the build driver shares each file's front
+		// end with the per-module analysis builds below.
+		wg.Add(1)
+		go func(i int, seed driver.Request) {
+			defer wg.Done()
+			if expanded, err := d.ExpandModules(seed); err == nil {
+				perFile[i] = expanded
+			} else {
+				perFile[i] = []driver.Request{seed}
+			}
+		}(i, seed)
+	}
+	wg.Wait()
+	var reqs []driver.Request
+	for _, rs := range perFile {
+		reqs = append(reqs, rs...)
 	}
 	results, _ := d.Build(context.Background(), reqs)
 	if d.Remote != nil {
@@ -235,8 +237,8 @@ func printExplain(d *driver.Driver, results []driver.Result) {
 			continue
 		}
 		fmt.Fprintf(os.Stderr,
-			"eclvet: phase-stats phase=%s mem-hits=%d disk-hits=%d remote-hits=%d rebuilds=%d failures=%d\n",
-			ph, c.MemHits, c.DiskHits, c.RemoteHits, c.Rebuilds, c.Failures)
+			"eclvet: phase-stats phase=%s mem-hits=%d disk-hits=%d remote-hits=%d shared=%d rebuilds=%d failures=%d\n",
+			ph, c.MemHits, c.DiskHits, c.RemoteHits, c.Shared, c.Rebuilds, c.Failures)
 	}
 }
 

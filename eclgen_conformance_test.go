@@ -1,0 +1,176 @@
+// Differential conformance over machine-generated programs: eclgen
+// emits seeded, well-typed ECL programs by construction, and every
+// registered conformant backend must reproduce the reference
+// interpreter's trace on each of them. This is the csmith-style
+// complement to conformance_test.go — the paper examples pin the
+// semantics on designs a human thought of; the generated corpus walks
+// the long tail of await/emit/par/preemption/data interleavings nobody
+// wrote down.
+package ecl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eclgen"
+	"repro/internal/exec"
+)
+
+// diffGeneratedProgram compiles every module of one generated program
+// and trace-diffs each backend against the interpreter. Any failure —
+// parse, compile, or divergence — is a real bug: either the generator
+// broke its well-typedness contract or two backends disagree.
+func diffGeneratedProgram(t *testing.T, backends []string, seed int64, instants int) {
+	t.Helper()
+	src := eclgen.Program(seed)
+	prog, err := core.Parse("gen.ecl", src, core.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: generated program rejected: %v\nsource:\n%s", seed, err, src)
+	}
+	for _, mod := range prog.Modules() {
+		design, err := prog.Compile(mod)
+		if err != nil {
+			t.Fatalf("seed %d: compile %s: %v\nsource:\n%s", seed, mod, err, src)
+		}
+		ref, err := exec.Open("interp", design)
+		if err != nil {
+			t.Fatalf("seed %d: open interp for %s: %v", seed, mod, err)
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		workload := randomInstants(rng, ref, instants, 0.4)
+		want := recordTrace(t, "interp", design, workload)
+		for _, backend := range backends {
+			if backend == "interp" {
+				continue
+			}
+			got := recordTrace(t, backend, design, workload)
+			if err := exec.Diff(want, got); err != nil {
+				t.Errorf("seed %d module %s (interp vs %s): %v\nsource:\n%s",
+					seed, mod, backend, err, src)
+			}
+		}
+	}
+}
+
+// TestConformanceGenerated drives at least 100 generated programs
+// through every conformant backend (a couple dozen in -short).
+func TestConformanceGenerated(t *testing.T) {
+	backends := exec.ConformantBackends()
+	if len(backends) < 3 {
+		t.Fatalf("want at least interp/efsm/efsm-min, have %v", backends)
+	}
+	n := 100
+	if testing.Short() {
+		n = 20
+	}
+	for seed := 0; seed < n; seed++ {
+		diffGeneratedProgram(t, backends, int64(seed), 40)
+	}
+}
+
+// FuzzGenConformance turns the differential harness into a fuzz
+// target: any int64 is a valid seed, so the fuzzer explores generator
+// space directly — every crash is either a generator well-typedness
+// bug or a backend divergence.
+func FuzzGenConformance(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	backends := exec.ConformantBackends()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		diffGeneratedProgram(t, backends, seed, 24)
+	})
+}
+
+// TestConformanceGeneratedGoSample compiles the synthesized Go for a
+// few generated programs with the host toolchain and diffs the binary
+// trace against the interpreter — closing the loop from random
+// generation all the way to emitted code.
+func TestConformanceGeneratedGoSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated-Go conformance needs the go toolchain; skipped in -short")
+	}
+	goTool, err := osexec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := eclgen.Program(seed)
+			prog, err := core.Parse("gen.ecl", src, core.Options{})
+			if err != nil {
+				t.Fatalf("generated program rejected: %v", err)
+			}
+			mods := prog.Modules()
+			mod := mods[len(mods)-1]
+			design, err := prog.Compile(mod)
+			if err != nil {
+				t.Fatalf("compile %s: %v", mod, err)
+			}
+			goText, err := design.GoText("main")
+			if err != nil {
+				t.Fatalf("generate Go: %v", err)
+			}
+			ref, err := exec.Open("interp", design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed + 100))
+			want, err := exec.Record(ref, randomInstants(rng, ref, 30, 0.4))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			files := map[string]string{
+				"go.mod":     "module genconf\n\ngo 1.24\n",
+				"machine.go": goText,
+				"main.go":    goHarness,
+			}
+			for name, text := range files {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o666); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stdin bytes.Buffer
+			if err := want.Encode(&stdin); err != nil {
+				t.Fatal(err)
+			}
+			cmd := osexec.Command(goTool, "run", ".")
+			cmd.Dir = dir
+			cmd.Stdin = &stdin
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run: %v\n%s", err, stderr.String())
+			}
+
+			got := exec.NewTrace(mod, "gen-go")
+			for _, line := range strings.Split(stdout.String(), "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" {
+					continue
+				}
+				var ev exec.Event
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("harness output %q: %v", line, err)
+				}
+				got.Events = append(got.Events, ev)
+			}
+			if err := exec.Diff(want, got); err != nil {
+				t.Errorf("seed %d module %s (interp vs generated Go): %v", seed, mod, err)
+			}
+		})
+	}
+}

@@ -117,7 +117,7 @@ func noteSignalRefs(e kernel.Expr, dst map[*kernel.Signal]bool) {
 	}
 	walkExpr(e.E, func(n ast.Node) {
 		if id, ok := n.(*ast.Ident); ok {
-			if si, ok := e.B.Info.Uses[id].(*sem.SignalInfo); ok {
+			if si, ok := e.B.Info.UseOf(id).(*sem.SignalInfo); ok {
 				if sig := e.B.Sigs[si]; sig != nil {
 					dst[sig] = true
 				}
@@ -131,7 +131,7 @@ func noteSignalRefs(e kernel.Expr, dst map[*kernel.Signal]bool) {
 func noteStmtSignalRefs(b *kernel.Binding, s ast.Stmt, dst map[*kernel.Signal]bool) {
 	walkStmt(s, func(n ast.Node) {
 		if id, ok := n.(*ast.Ident); ok {
-			if si, ok := b.Info.Uses[id].(*sem.SignalInfo); ok {
+			if si, ok := b.Info.UseOf(id).(*sem.SignalInfo); ok {
 				if sig := b.Sigs[si]; sig != nil {
 					dst[sig] = true
 				}

@@ -256,6 +256,64 @@ func CompareStep(old, new *Report, maxRegressPercent float64) (*Comparison, erro
 	return cmp, nil
 }
 
+// SpeedupGate requires one benchmark in an artifact to be at least Min
+// times faster (by ns/op) than another in the same artifact. Unlike
+// CompareStep this is an intra-artifact invariant — "the shared front
+// end beats the per-module front end" must hold on every host, not
+// relative to a baseline commit.
+type SpeedupGate struct {
+	// Slow and Fast name the two benchmarks (base names, without the
+	// -<GOMAXPROCS> suffix).
+	Slow, Fast string
+	// Min is the minimum required Slow/Fast ns-per-op ratio.
+	Min float64
+}
+
+// SpeedupGates lists the intra-artifact speedup invariants the bench
+// gate enforces: batch compilation of a generated mega-design with the
+// file-level shared front end must beat the per-module front end by at
+// least 3x (measured well above 100x on one core — the baseline
+// re-parses the whole file per module).
+var SpeedupGates = []SpeedupGate{
+	{Slow: "BenchmarkMegaDesignBatch/per-module", Fast: "BenchmarkMegaDesignBatch/shared", Min: 3},
+}
+
+// CheckSpeedups verifies every gate against one artifact. A missing
+// benchmark or a missing ns/op metric is an error — the gate must not
+// silently pass because the measurement was never taken.
+func CheckSpeedups(rep *Report, gates []SpeedupGate) error {
+	byBase := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byBase[baseName(b.Name)] = b
+	}
+	nsOf := func(name string) (float64, error) {
+		b, ok := byBase[name]
+		if !ok {
+			return 0, fmt.Errorf("speedup gate: benchmark %s not in artifact", name)
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			return 0, fmt.Errorf("speedup gate: %s has no usable ns/op metric", name)
+		}
+		return ns, nil
+	}
+	for _, g := range gates {
+		slow, err := nsOf(g.Slow)
+		if err != nil {
+			return err
+		}
+		fast, err := nsOf(g.Fast)
+		if err != nil {
+			return err
+		}
+		if ratio := slow / fast; ratio < g.Min {
+			return fmt.Errorf("speedup gate: %s is only %.2fx faster than %s (want >= %.1fx)",
+				g.Fast, ratio, g.Slow, g.Min)
+		}
+	}
+	return nil
+}
+
 // CheckZeroAlloc verifies that every named benchmark appears in the
 // artifact and reports an allocs/op metric of exactly zero. A missing
 // benchmark or a missing allocs/op metric (bench run without

@@ -75,6 +75,40 @@ func TestCheckZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestCheckSpeedups(t *testing.T) {
+	mk := func(slowNs, fastNs float64) *Report {
+		return &Report{Version: Version, Benchmarks: []Benchmark{
+			{Name: "BenchmarkMegaDesignBatch/per-module-8", Iters: 1, Metrics: map[string]float64{"ns/op": slowNs}},
+			{Name: "BenchmarkMegaDesignBatch/shared-8", Iters: 1, Metrics: map[string]float64{"ns/op": fastNs}},
+		}}
+	}
+	gates := []SpeedupGate{{
+		Slow: "BenchmarkMegaDesignBatch/per-module",
+		Fast: "BenchmarkMegaDesignBatch/shared",
+		Min:  3,
+	}}
+
+	if err := CheckSpeedups(mk(10_000, 1_000), gates); err != nil {
+		t.Fatalf("10x speedup rejected: %v", err)
+	}
+	if err := CheckSpeedups(mk(2_000, 1_000), gates); err == nil ||
+		!strings.Contains(err.Error(), "only 2.00x") {
+		t.Fatalf("2x speedup not flagged: %v", err)
+	}
+	if err := CheckSpeedups(&Report{Version: Version}, gates); err == nil ||
+		!strings.Contains(err.Error(), "not in artifact") {
+		t.Fatalf("missing benchmark not flagged: %v", err)
+	}
+	missingNs := &Report{Version: Version, Benchmarks: []Benchmark{
+		{Name: "BenchmarkMegaDesignBatch/per-module-8", Iters: 1, Metrics: map[string]float64{"modules": 1000}},
+		{Name: "BenchmarkMegaDesignBatch/shared-8", Iters: 1, Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	if err := CheckSpeedups(missingNs, gates); err == nil ||
+		!strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("missing ns/op not flagged: %v", err)
+	}
+}
+
 func TestParseTestJSONRoundTrip(t *testing.T) {
 	rep, err := ParseTestJSON(strings.NewReader(sampleStream))
 	if err != nil {

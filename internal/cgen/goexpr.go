@@ -34,7 +34,7 @@ func (g *gogen) varSlot(b *kernel.Binding, vi *sem.VarInfo) (string, ctypes.Type
 func (g *gogen) lvalue(b *kernel.Binding, e ast.Expr) (string, error) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		switch obj := g.m.Info.Uses[e].(type) {
+		switch obj := g.info.UseOf(e).(type) {
 		case *sem.VarInfo:
 			slot, _, err := g.varSlot(b, obj)
 			return slot, err
@@ -53,7 +53,7 @@ func (g *gogen) lvalue(b *kernel.Binding, e ast.Expr) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		bt := g.m.Info.ExprType[e.X]
+		bt := g.info.TypeOf(e.X)
 		at, ok := bt.(*ctypes.ArrayType)
 		if !ok {
 			return "", fmt.Errorf("indexing non-array %s", bt)
@@ -71,7 +71,7 @@ func (g *gogen) lvalue(b *kernel.Binding, e ast.Expr) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		st, ok := g.m.Info.ExprType[e.X].(*ctypes.StructType)
+		st, ok := g.info.TypeOf(e.X).(*ctypes.StructType)
 		if !ok {
 			return "", fmt.Errorf("member access on non-struct")
 		}
@@ -96,7 +96,7 @@ func load(slot string, t ctypes.Type) string {
 func (g *gogen) expr(b *kernel.Binding, e ast.Expr) (string, error) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		switch obj := g.m.Info.Uses[e].(type) {
+		switch obj := g.info.UseOf(e).(type) {
 		case *sem.VarInfo:
 			if g.locals != nil {
 				if name, ok := g.locals[obj]; ok {
@@ -155,7 +155,7 @@ func (g *gogen) expr(b *kernel.Binding, e ast.Expr) (string, error) {
 		return fmt.Sprintf("sel(%s, %s, %s)", c, a, d), nil
 
 	case *ast.Call:
-		fi, ok := g.m.Info.Uses[e.Fun].(*sem.FuncInfo)
+		fi, ok := g.info.UseOf(e.Fun).(*sem.FuncInfo)
 		if !ok {
 			return "", fmt.Errorf("call of non-function %q", e.Fun.Name)
 		}
@@ -173,7 +173,7 @@ func (g *gogen) expr(b *kernel.Binding, e ast.Expr) (string, error) {
 		return fmt.Sprintf("m.fn_%s(%s)", sanitize(fi.Name), strings.Join(args, ", ")), nil
 
 	case *ast.Index, *ast.Member:
-		t := g.m.Info.ExprType[e]
+		t := g.info.TypeOf(e)
 		if t == nil || isAggregateType(t) {
 			return "", fmt.Errorf("aggregate value used where scalar expected")
 		}
@@ -188,7 +188,7 @@ func (g *gogen) expr(b *kernel.Binding, e ast.Expr) (string, error) {
 		if to == nil {
 			return "", fmt.Errorf("unresolved cast type")
 		}
-		xt := g.m.Info.ExprType[e.X]
+		xt := g.info.TypeOf(e.X)
 		if xt != nil && xt.Kind() == ctypes.KindArray {
 			// Array-to-integer reinterpretation: big-endian leading
 			// bytes, right-aligned in the target.
@@ -216,7 +216,7 @@ func (g *gogen) expr(b *kernel.Binding, e ast.Expr) (string, error) {
 				return fmt.Sprintf("int64(%d)", t.Size()), nil
 			}
 		}
-		if t := g.m.Info.ExprType[e.X]; t != nil {
+		if t := g.info.TypeOf(e.X); t != nil {
 			return fmt.Sprintf("int64(%d)", t.Size()), nil
 		}
 		return "", fmt.Errorf("unresolved sizeof")
@@ -235,7 +235,7 @@ func (g *gogen) unary(b *kernel.Binding, e *ast.Unary) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	xt := g.m.Info.ExprType[e.X]
+	xt := g.info.TypeOf(e.X)
 	switch e.Op {
 	case token.ADD:
 		return x, nil
@@ -280,8 +280,8 @@ func (g *gogen) binary(b *kernel.Binding, e *ast.Binary) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	xt := g.m.Info.ExprType[e.X]
-	yt := g.m.Info.ExprType[e.Y]
+	xt := g.info.TypeOf(e.X)
+	yt := g.info.TypeOf(e.Y)
 	// Array operands in comparisons reinterpret as integers (already
 	// loaded as int64 by expr through the cast path); here they appear
 	// directly, so reinterpret via lvalue.

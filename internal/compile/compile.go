@@ -276,7 +276,7 @@ func rootVar(e kernel.Expr) *kernel.Var {
 	for {
 		switch x := cur.(type) {
 		case *ast.Ident:
-			if vi, ok := e.B.Info.Uses[x].(*sem.VarInfo); ok {
+			if vi, ok := e.B.Info.UseOf(x).(*sem.VarInfo); ok {
 				return e.B.Vars[vi]
 			}
 			return nil

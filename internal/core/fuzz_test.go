@@ -6,8 +6,18 @@ import (
 	"testing"
 
 	"repro/internal/compile"
+	"repro/internal/eclgen"
 	"repro/internal/paperex"
 )
+
+// seedGenerated adds the eclgen mini-corpus (pinned under
+// internal/eclgen/testdata/corpus), so mutation starts from machine-
+// generated shapes the hand-written examples don't cover.
+func seedGenerated(f *testing.F) {
+	for _, c := range eclgen.Corpus() {
+		f.Add(eclgen.Generate(c.Config))
+	}
+}
 
 // seedExamples widens the corpus with every shipped example (ROADMAP:
 // the .ecl corpus under examples/), keeping the seeds within the fuzz
@@ -45,6 +55,7 @@ func FuzzCompile(f *testing.F) {
 	f.Add("module m (input int v) { signal pure s; par { emit (s); await (v); } }")
 	f.Add("#define A B\nmodule m (input pure A) { await (A); }")
 	seedExamples(f)
+	seedGenerated(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<13 {
 			t.Skip("oversized input")

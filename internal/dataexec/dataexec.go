@@ -355,7 +355,7 @@ func (ev *Evaluator) varView(b *kernel.Binding, vi *sem.VarInfo) (cval.Value, er
 func (ev *Evaluator) lvalue(b *kernel.Binding, e ast.Expr) (cval.Value, error) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		vi, ok := ev.Info.Uses[e].(*sem.VarInfo)
+		vi, ok := ev.Info.UseOf(e).(*sem.VarInfo)
 		if !ok {
 			return cval.Value{}, fmt.Errorf("%q is not an assignable variable", e.Name)
 		}
@@ -393,7 +393,7 @@ func (ev *Evaluator) eval(b *kernel.Binding, e ast.Expr) (cval.Value, error) {
 	}
 	switch e := e.(type) {
 	case *ast.Ident:
-		switch obj := ev.Info.Uses[e].(type) {
+		switch obj := ev.Info.UseOf(e).(type) {
 		case *sem.VarInfo:
 			ev.Env.Charge(1)
 			return ev.varView(b, obj)
@@ -518,7 +518,7 @@ func (ev *Evaluator) eval(b *kernel.Binding, e ast.Expr) (cval.Value, error) {
 			}
 			return cval.FromInt(ctypes.UInt, int64(t.Size())), nil
 		}
-		t := ev.Info.ExprType[e.X]
+		t := ev.Info.TypeOf(e.X)
 		if t == nil {
 			return cval.Value{}, fmt.Errorf("unresolved sizeof operand")
 		}
@@ -823,7 +823,7 @@ func promoteFor(t ctypes.Type) ctypes.Type {
 // C function calls
 
 func (ev *Evaluator) evalCall(b *kernel.Binding, e *ast.Call) (cval.Value, error) {
-	fi, ok := ev.Info.Uses[e.Fun].(*sem.FuncInfo)
+	fi, ok := ev.Info.UseOf(e.Fun).(*sem.FuncInfo)
 	if !ok {
 		return cval.Value{}, fmt.Errorf("call of non-function %q", e.Fun.Name)
 	}

@@ -164,6 +164,11 @@ type Driver struct {
 	Workers int
 	// NoCache disables every cache tier (every request recompiles).
 	NoCache bool
+	// NoShare disables the file-level shared front end: every request
+	// re-parses and re-analyzes its file instead of reusing the
+	// per-file compilation unit. Orthogonal to NoCache; exists for the
+	// per-module baseline in benchmarks and for bisecting sharing bugs.
+	NoShare bool
 	// Disk is the persistent second cache tier (nil: memory only).
 	// Only requests with targets use it — the disk tier stores
 	// rendered artifacts, so a request that needs the compiled Design
@@ -187,7 +192,7 @@ func (d *Driver) runner() *pipeline.Runner {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.pipe == nil {
-		d.pipe = &pipeline.Runner{Disk: d.Disk, NoCache: d.NoCache}
+		d.pipe = &pipeline.Runner{Disk: d.Disk, NoCache: d.NoCache, NoShare: d.NoShare}
 		if d.Remote != nil {
 			// Assigned only when non-nil: a typed nil inside the Tier
 			// interface would defeat the runner's nil checks.
@@ -652,10 +657,12 @@ func (e *ExpandError) Error() string {
 // errors, an empty file) are reported as an *ExpandError carrying
 // file/phase diagnostics.
 //
-// Each per-module build re-runs the front end over the shared source:
-// lowering mutates the analysis tables (sem.Info), so one parsed
-// program cannot be lowered concurrently for several modules.
-func ExpandModules(req Request) ([]Request, error) {
+// The front end this runs to discover the modules is the same
+// file-level compilation unit the per-module builds reuse: lowering is
+// non-mutating (sem.Info.Derive), so expansion parses and analyzes the
+// file once and every subsequent build of its modules records the
+// parse/sem phases as "shared" instead of re-running them.
+func (d *Driver) ExpandModules(req Request) ([]Request, error) {
 	src := req.Source
 	if src == "" {
 		data, err := os.ReadFile(req.Path)
@@ -667,11 +674,12 @@ func ExpandModules(req Request) ([]Request, error) {
 		}
 		src = string(data)
 	}
-	prog, err := core.Parse(req.Path, src, req.Options)
+	mods, phase, err := d.runner().Modules(pipeline.Request{
+		Path: req.Path, Source: src, Opts: req.Options,
+	})
 	if err != nil {
-		return nil, &ExpandError{Diags: toDiags(req.Path, "", PhaseParse, err)}
+		return nil, &ExpandError{Diags: toDiags(req.Path, "", diagPhase(phase), err)}
 	}
-	mods := prog.Modules()
 	if len(mods) == 0 {
 		return nil, &ExpandError{Diags: []Diagnostic{{
 			File: req.Path, Phase: PhaseParse,
@@ -686,6 +694,14 @@ func ExpandModules(req Request) ([]Request, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// ExpandModules is the standalone form of Driver.ExpandModules for
+// callers without a batch driver at hand. It expands through a
+// throwaway driver, so nothing is shared with later builds — batch
+// consumers should expand through the Driver they build with.
+func ExpandModules(req Request) ([]Request, error) {
+	return New(0).ExpandModules(req)
 }
 
 // ---------------------------------------------------------------------------

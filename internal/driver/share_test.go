@@ -1,0 +1,86 @@
+package driver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eclgen"
+	"repro/internal/pipeline"
+)
+
+// TestSharedFrontEndByteIdentical is the sharing acceptance criterion:
+// a batch build through the file-level shared front end must produce
+// byte-identical artifacts to the per-module front end (Driver.NoShare)
+// for every module of a generated multi-module file. Phase content
+// keys derive from the analyzed file's fingerprint, not AST node
+// identity, so the two paths must be indistinguishable downstream.
+func TestSharedFrontEndByteIdentical(t *testing.T) {
+	src := eclgen.File(3, 12)
+	targets := []Target{TargetC, TargetEsterel, TargetGlue, TargetStats}
+	seed := Request{Path: "mega.ecl", Source: src, Targets: targets}
+
+	build := func(noShare bool) map[string]map[Target]string {
+		d := &Driver{NoCache: true, NoShare: noShare}
+		reqs, err := d.ExpandModules(seed)
+		if err != nil {
+			t.Fatalf("noShare=%v: expand: %v", noShare, err)
+		}
+		if len(reqs) != 12 {
+			t.Fatalf("noShare=%v: expanded to %d modules, want 12", noShare, len(reqs))
+		}
+		results, err := d.Build(context.Background(), reqs)
+		if err != nil {
+			t.Fatalf("noShare=%v: build: %v", noShare, err)
+		}
+		arts := make(map[string]map[Target]string, len(results))
+		for i := range results {
+			arts[results[i].Module] = results[i].Artifacts
+		}
+		return arts
+	}
+
+	shared, baseline := build(false), build(true)
+	if len(shared) != len(baseline) {
+		t.Fatalf("module sets differ: shared=%d baseline=%d", len(shared), len(baseline))
+	}
+	for mod, want := range baseline {
+		got, ok := shared[mod]
+		if !ok {
+			t.Fatalf("module %s missing from shared build", mod)
+		}
+		for _, target := range targets {
+			if got[target] != want[target] {
+				t.Errorf("module %s target %s: shared and per-module artifacts differ", mod, target)
+			}
+		}
+	}
+}
+
+// TestSharedFrontEndStats pins the observable contract of sharing: one
+// batch over an N-module file parses and analyzes once (rebuilt) and
+// records every per-module walk as "shared" — the counters eclc
+// -explain prints and CI greps.
+func TestSharedFrontEndStats(t *testing.T) {
+	src := eclgen.File(5, 8)
+	d := &Driver{NoCache: true}
+	reqs, err := d.ExpandModules(Request{Path: "mega.ecl", Source: src, Targets: []Target{TargetC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Build(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	phases := d.CacheStats().Phases
+	for _, ph := range []pipeline.Phase{pipeline.PhaseParse, pipeline.PhaseSem} {
+		c := phases[ph]
+		if c.Rebuilds != 1 {
+			t.Errorf("phase %s: rebuilds = %d, want 1 (one front end per file)", ph, c.Rebuilds)
+		}
+		if c.Shared != int64(len(reqs)) {
+			t.Errorf("phase %s: shared = %d, want %d (one per module)", ph, c.Shared, len(reqs))
+		}
+	}
+	if c := phases[pipeline.PhaseLower]; c.Rebuilds != int64(len(reqs)) {
+		t.Errorf("phase lower: rebuilds = %d, want %d (lowering is per-module)", c.Rebuilds, len(reqs))
+	}
+}

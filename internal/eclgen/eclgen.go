@@ -1,0 +1,475 @@
+// Package eclgen generates well-typed random ECL programs, in the
+// spirit of csmith: every emitted program parses, analyzes, lowers,
+// and compiles through every backend by construction. The generator
+// serves two workloads the hand-written example corpus cannot cover:
+//
+//   - differential conformance at scale — small programs whose modules
+//     are stepped through every registered execution backend and
+//     trace-diffed against the interpreter;
+//   - synthetic mega-designs — files with hundreds to thousands of
+//     modules that stress batch compilation (and the shared-front-end
+//     path in particular) the way production traffic would.
+//
+// Correctness-by-construction rules, chosen so that no generated
+// program can be rejected or behave non-deterministically:
+//
+//   - every reactive loop body starts with an await, so no loop is
+//     instantaneous; data loops are bounded counter loops;
+//   - presence tests (present, preemption guards) use input signals
+//     only; awaits may also use module-local signals, whose emission
+//     is delayed-consumed, so no causality cycle can close;
+//   - each valued signal is emitted by exactly one par branch and at
+//     most once per instant, so no emit conflicts arise;
+//   - valued inputs are read only in reaction segments guarded by an
+//     await of that signal;
+//   - expressions use int arithmetic without division, so all backends
+//     agree bit-for-bit under int32 wrap-around semantics.
+//
+// Generation is fully deterministic in the seed.
+package eclgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes one generated translation unit.
+type Config struct {
+	// Seed drives every random choice; equal configs generate equal text.
+	Seed int64
+	// Modules is the number of modules to generate (min 1).
+	Modules int
+	// NoWrappers suppresses instantiation-wrapper modules (used by
+	// conformance tests that want every module to be a leaf).
+	NoWrappers bool
+}
+
+// File generates a translation unit with the given seed and module
+// count — the mega-design entry point.
+func File(seed int64, modules int) string {
+	return Generate(Config{Seed: seed, Modules: modules})
+}
+
+// Program generates a small translation unit (one to three modules)
+// for differential conformance runs.
+func Program(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	return Generate(Config{Seed: r.Int63(), Modules: 1 + r.Intn(3)})
+}
+
+// Generate renders one translation unit under the config.
+func Generate(cfg Config) string {
+	n := cfg.Modules
+	if n < 1 {
+		n = 1
+	}
+	g := &gen{r: rand.New(rand.NewSource(cfg.Seed))}
+	g.prelude()
+	for i := 0; i < n; i++ {
+		canWrap := !cfg.NoWrappers && len(g.mods) >= 2
+		if canWrap && g.r.Intn(6) == 0 {
+			g.wrapper(i)
+		} else {
+			g.leaf(i)
+		}
+	}
+	return g.b.String()
+}
+
+// CorpusEntry names one committed generated program under
+// testdata/corpus — the mini-corpus that seeds the parser and
+// compiler fuzz targets.
+type CorpusEntry struct {
+	Name   string
+	Config Config
+}
+
+// Corpus returns the fixed set of corpus entries. The committed files
+// are pinned to the generator by TestCorpusPinned, so fuzz seeds never
+// drift from what the generator produces.
+func Corpus() []CorpusEntry {
+	var cs []CorpusEntry
+	for seed := int64(1); seed <= 8; seed++ {
+		cs = append(cs, CorpusEntry{
+			Name:   fmt.Sprintf("gen_s%d.ecl", seed),
+			Config: Config{Seed: seed, Modules: 1 + int(seed)%3},
+		})
+	}
+	return cs
+}
+
+// param is one interface signal of a generated module.
+type param struct {
+	name string
+	pure bool
+	in   bool
+}
+
+// modSig records a generated module's interface so later wrapper
+// modules can instantiate it with matching arguments.
+type modSig struct {
+	name   string
+	params []param
+}
+
+type gen struct {
+	r      *rand.Rand
+	b      strings.Builder
+	consts []string // #define names usable as int operands
+	mods   []modSig // instantiable modules generated so far
+}
+
+func (g *gen) pf(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// prelude emits a couple of macro constants the expression generator
+// draws on, mirroring the #define-heavy style of real ECL sources.
+func (g *gen) prelude() {
+	n := 2 + g.r.Intn(2)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("GK%d", i)
+		g.pf("#define %s %d\n", name, 1+g.r.Intn(12))
+		g.consts = append(g.consts, name)
+	}
+	g.pf("\n")
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// expr renders a random int expression over the given operand names
+// (variables and readable valued signals). Division and modulo are
+// excluded; every remaining operator wraps identically (int32) across
+// the interpreter, the table backend, and generated C/Go.
+func (g *gen) expr(depth int, operands []string) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(17))
+		case 1:
+			return g.consts[g.r.Intn(len(g.consts))]
+		default:
+			if len(operands) == 0 {
+				return fmt.Sprintf("%d", 1+g.r.Intn(9))
+			}
+			return operands[g.r.Intn(len(operands))]
+		}
+	}
+	x := g.expr(depth-1, operands)
+	y := g.expr(depth-1, operands)
+	switch g.r.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", x, y)
+	case 3:
+		return fmt.Sprintf("(%s & %s)", x, y)
+	case 4:
+		return fmt.Sprintf("(%s | %s)", x, y)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", x, y)
+	case 6:
+		return fmt.Sprintf("(%s < %s)", x, y)
+	case 7:
+		return fmt.Sprintf("(%s << %d)", x, g.r.Intn(4))
+	default:
+		return fmt.Sprintf("(%s >> %d)", x, 1+g.r.Intn(3))
+	}
+}
+
+// dataStmts renders 1..3 pure-data statements over the mutable vars,
+// reading from operands. ind is the indentation depth.
+func (g *gen) dataStmts(ind int, vars, operands []string) {
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		v := vars[g.r.Intn(len(vars))]
+		switch g.r.Intn(5) {
+		case 0: // bounded counter loop (extracted as a data function)
+			g.pf("%sfor (t = 0; t < %d; t++) {\n", tabs(ind), 2+g.r.Intn(6))
+			g.pf("%s%s = %s + %s;\n", tabs(ind+1), v, v, g.expr(1, append(operands, "t")))
+			g.pf("%s}\n", tabs(ind))
+		case 1: // guarded update
+			g.pf("%sif (%s) {\n", tabs(ind), g.expr(1, operands))
+			g.pf("%s%s = %s;\n", tabs(ind+1), v, g.expr(2, operands))
+			g.pf("%s} else {\n", tabs(ind))
+			g.pf("%s%s = %s;\n", tabs(ind+1), v, g.expr(1, operands))
+			g.pf("%s}\n", tabs(ind))
+		case 2: // draining while loop: halves each pass, so it terminates
+			// in at most 31 iterations however large the value grew
+			g.pf("%swhile (%s > 0) {\n", tabs(ind), v)
+			g.pf("%s%s = %s >> 1;\n", tabs(ind+1), v, v)
+			g.pf("%s}\n", tabs(ind))
+		default:
+			g.pf("%s%s = %s;\n", tabs(ind), v, g.expr(2, operands))
+		}
+	}
+}
+
+func tabs(n int) string { return strings.Repeat("    ", n) }
+
+// ---------------------------------------------------------------------------
+// Leaf modules
+
+// leaf generates one self-contained module. The reactive skeleton is
+// drawn from a handful of templates covering await/emit, preemption
+// (abort, weak_abort with handler, suspend), par with local-signal
+// communication, switch dispatch, and present tests.
+func (g *gen) leaf(idx int) {
+	name := fmt.Sprintf("gen%d", idx)
+	tmpl := g.r.Intn(6)
+
+	// Interface: templates fix the minimum shape, randomness adds to it.
+	pins := []string{"pa"}
+	if tmpl == 1 || g.r.Intn(2) == 0 {
+		pins = append(pins, "pb")
+	}
+	var vins []string
+	if tmpl == 3 || g.r.Intn(2) == 0 {
+		vins = append(vins, "va")
+	}
+	vouts := []string{"oa"}
+	if tmpl == 2 {
+		vouts = append(vouts, "ob")
+	}
+	var pouts []string
+	if g.r.Intn(2) == 0 {
+		pouts = append(pouts, "qa")
+	}
+
+	var sig []string
+	for _, p := range pins {
+		sig = append(sig, "input pure "+p)
+	}
+	for _, v := range vins {
+		sig = append(sig, "input int "+v)
+	}
+	for _, o := range vouts {
+		sig = append(sig, "output int "+o)
+	}
+	for _, q := range pouts {
+		sig = append(sig, "output pure "+q)
+	}
+	g.pf("module %s (%s)\n{\n", name, strings.Join(sig, ", "))
+
+	// Variables: two mutable ints plus the dedicated data-loop counter.
+	vars := []string{"x0", "x1"}
+	for _, v := range vars {
+		g.pf("    int %s = %d;\n", v, g.r.Intn(8))
+	}
+	g.pf("    int t;\n\n")
+
+	switch tmpl {
+	case 0: // plain await/react loop
+		g.reactLoop(1, pins[0], vars, vins, vouts[0], pouts)
+	case 1: // preemption around an inner react loop
+		g.preemptLoop(1, pins, vars, vins, vouts[0], pouts)
+	case 2: // par with local-signal hand-off between branches
+		g.parBody(pins, vars, vins, vouts, pouts)
+	case 3: // switch dispatch on a valued input
+		g.switchLoop(1, vars, vins[0], vouts[0], pouts)
+	case 4: // present test each instant
+		g.presentLoop(1, pins[0], vars, vouts[0], pouts)
+	default: // data-heavy reaction
+		g.reactLoop(1, pins[0], vars, vins, vouts[0], pouts)
+	}
+	g.pf("}\n\n")
+
+	g.mods = append(g.mods, modSig{name: name, params: collectParams(pins, vins, vouts, pouts)})
+}
+
+func collectParams(pins, vins, vouts, pouts []string) []param {
+	var ps []param
+	for _, p := range pins {
+		ps = append(ps, param{name: p, pure: true, in: true})
+	}
+	for _, v := range vins {
+		ps = append(ps, param{name: v, pure: false, in: true})
+	}
+	for _, o := range vouts {
+		ps = append(ps, param{name: o, pure: false, in: false})
+	}
+	for _, q := range pouts {
+		ps = append(ps, param{name: q, pure: true, in: false})
+	}
+	return ps
+}
+
+// reactLoop: while(1) { await(trigger); data; emit_v; [emit pure] }.
+// When a valued input exists it becomes the trigger, so its value is
+// only read in instants where it was just present.
+func (g *gen) reactLoop(ind int, ptrig string, vars, vins []string, vout string, pouts []string) {
+	trigger := ptrig
+	operands := append([]string{}, vars...)
+	if len(vins) > 0 && g.r.Intn(2) == 0 {
+		trigger = vins[0]
+		operands = append(operands, vins[0])
+	}
+	g.pf("%swhile (1) {\n", tabs(ind))
+	g.pf("%sawait (%s);\n", tabs(ind+1), trigger)
+	g.dataStmts(ind+1, vars, operands)
+	g.pf("%semit_v (%s, %s);\n", tabs(ind+1), vout, g.expr(2, operands))
+	if len(pouts) > 0 {
+		g.pf("%sif (%s > %s) emit (%s);\n", tabs(ind+1), vars[0], vars[1], pouts[0])
+	}
+	g.pf("%s}\n", tabs(ind))
+}
+
+// preemptLoop: an inner react loop under abort/weak_abort/suspend,
+// guarded by a pure input, re-armed by an outer await.
+func (g *gen) preemptLoop(ind int, pins []string, vars, vins []string, vout string, pouts []string) {
+	guard, inner := pins[0], pins[1]
+	g.pf("%swhile (1) {\n", tabs(ind))
+	g.pf("%sawait (%s);\n", tabs(ind+1), guard)
+	g.pf("%sdo {\n", tabs(ind+1))
+	g.reactLoop(ind+2, inner, vars, vins, vout, nil)
+	kind := g.r.Intn(3)
+	switch kind {
+	case 0:
+		g.pf("%s} abort (%s);\n", tabs(ind+1), guard)
+	case 1:
+		g.pf("%s} weak_abort (%s)", tabs(ind+1), guard)
+		if len(pouts) > 0 {
+			g.pf("\n%shandle {\n%semit (%s);\n%s}\n", tabs(ind+1), tabs(ind+2), pouts[0], tabs(ind+1))
+		} else {
+			g.pf(";\n")
+		}
+	default:
+		g.pf("%s} suspend (%s);\n", tabs(ind+1), guard)
+	}
+	g.pf("%s}\n", tabs(ind))
+}
+
+// parBody: two branches with disjoint outputs; the first hands a pure
+// local signal to the second, which only awaits it (delayed
+// consumption — no causality cycle can close).
+func (g *gen) parBody(pins []string, vars, vins, vouts, pouts []string) {
+	g.pf("    signal pure lnk;\n\n")
+	operands0 := []string{vars[0]}
+	operands1 := append([]string{vars[1]}, vins...)
+	trig1 := "lnk"
+	if len(pins) > 1 && g.r.Intn(3) == 0 {
+		trig1 = pins[1]
+	}
+	g.pf("    par {\n")
+	// Branch 0: owns vouts[1] and the link signal, driven by pins[0].
+	g.pf("        while (1) {\n")
+	g.pf("            await (%s);\n", pins[0])
+	g.pf("            %s = %s;\n", vars[0], g.expr(2, operands0))
+	g.pf("            emit (lnk);\n")
+	g.pf("            emit_v (%s, %s);\n", vouts[1], g.expr(1, operands0))
+	g.pf("        }\n")
+	// Branch 1: owns vouts[0] (and the pure outputs), driven by the link.
+	g.pf("        while (1) {\n")
+	g.pf("            await (%s);\n", trig1)
+	g.dataStmts(3, []string{vars[1]}, operands1)
+	g.pf("            emit_v (%s, %s);\n", vouts[0], g.expr(2, operands1))
+	if len(pouts) > 0 {
+		g.pf("            emit (%s);\n", pouts[0])
+	}
+	g.pf("        }\n")
+	g.pf("    }\n")
+}
+
+// switchLoop: dispatch each reaction on the low bits of a valued input.
+func (g *gen) switchLoop(ind int, vars []string, vin, vout string, pouts []string) {
+	operands := append([]string{vin}, vars...)
+	g.pf("%swhile (1) {\n", tabs(ind))
+	g.pf("%sawait (%s);\n", tabs(ind+1), vin)
+	g.pf("%sswitch (%s & 3) {\n", tabs(ind+1), vin)
+	g.pf("%scase 0:\n", tabs(ind+1))
+	g.pf("%s%s = %s;\n", tabs(ind+2), vars[0], g.expr(2, operands))
+	g.pf("%sbreak;\n", tabs(ind+2))
+	g.pf("%scase 1:\n%scase 2:\n", tabs(ind+1), tabs(ind+1))
+	g.pf("%s%s = %s;\n", tabs(ind+2), vars[1], g.expr(2, operands))
+	g.pf("%sbreak;\n", tabs(ind+2))
+	g.pf("%sdefault:\n", tabs(ind+1))
+	g.pf("%s%s = %d;\n", tabs(ind+2), vars[0], g.r.Intn(9))
+	g.pf("%s}\n", tabs(ind+1))
+	g.pf("%semit_v (%s, (%s + %s));\n", tabs(ind+1), vout, vars[0], vars[1])
+	if len(pouts) > 0 {
+		g.pf("%sif ((%s & 1) == 0) emit (%s);\n", tabs(ind+1), vin, pouts[0])
+	}
+	g.pf("%s}\n", tabs(ind))
+}
+
+// presentLoop: sample a pure input every instant and react to both
+// presence and absence.
+func (g *gen) presentLoop(ind int, pin string, vars []string, vout string, pouts []string) {
+	g.pf("%swhile (1) {\n", tabs(ind))
+	g.pf("%sawait ();\n", tabs(ind+1))
+	g.pf("%spresent (%s) {\n", tabs(ind+1), pin)
+	g.pf("%s%s = %s + %s;\n", tabs(ind+2), vars[0], vars[0], g.expr(1, vars))
+	g.pf("%s} else {\n", tabs(ind+1))
+	g.pf("%s%s = %s;\n", tabs(ind+2), vars[1], g.expr(1, vars))
+	g.pf("%s}\n", tabs(ind+1))
+	g.pf("%semit_v (%s, %s);\n", tabs(ind+1), vout, g.expr(2, vars))
+	if len(pouts) > 0 {
+		g.pf("%sif (%s == %s) emit (%s);\n", tabs(ind+1), vars[0], vars[1], pouts[0])
+	}
+	g.pf("%s}\n", tabs(ind))
+}
+
+// ---------------------------------------------------------------------------
+// Wrapper modules (instantiation)
+
+// wrapper generates a module that instantiates one or two previously
+// generated modules in parallel, wiring each callee to a private set
+// of fresh interface signals — directions and value types match by
+// construction, and no two instances share a valued output.
+func (g *gen) wrapper(idx int) {
+	name := fmt.Sprintf("gen%d", idx)
+	nc := 1
+	if len(g.mods) >= 2 && g.r.Intn(2) == 0 {
+		nc = 2
+	}
+	// Only instantiate small interfaces, so wrapper-of-wrapper chains
+	// stay bounded.
+	var callees []modSig
+	for attempts := 0; len(callees) < nc && attempts < 8; attempts++ {
+		c := g.mods[g.r.Intn(len(g.mods))]
+		if len(c.params) <= 6 {
+			callees = append(callees, c)
+		}
+	}
+	if len(callees) == 0 {
+		g.leaf(idx)
+		return
+	}
+
+	var sig []string
+	var params []param
+	var calls []string
+	for ci, c := range callees {
+		var args []string
+		for _, p := range c.params {
+			fresh := fmt.Sprintf("c%d_%s", ci, p.name)
+			args = append(args, fresh)
+			params = append(params, param{name: fresh, pure: p.pure, in: p.in})
+			dir, ty := "input", "int "
+			if !p.in {
+				dir = "output"
+			}
+			if p.pure {
+				ty = "pure "
+			}
+			sig = append(sig, dir+" "+ty+fresh)
+		}
+		calls = append(calls, fmt.Sprintf("%s (%s);", c.name, strings.Join(args, ", ")))
+	}
+	g.pf("module %s (%s)\n{\n", name, strings.Join(sig, ", "))
+	if len(calls) == 1 {
+		g.pf("    %s\n", calls[0])
+	} else {
+		g.pf("    par {\n")
+		for _, call := range calls {
+			g.pf("        %s\n", call)
+		}
+		g.pf("    }\n")
+	}
+	g.pf("}\n\n")
+	g.mods = append(g.mods, modSig{name: name, params: params})
+}

@@ -1,0 +1,51 @@
+#define GK0 4
+#define GK1 12
+#define GK2 12
+
+module gen0 (input pure pa, input pure pb, input int va, output int oa)
+{
+    int x0 = 4;
+    int x1 = 0;
+    int t;
+
+    while (1) {
+        await (pa);
+        do {
+            while (1) {
+                await (va);
+                while (x1 > 0) {
+                    x1 = x1 >> 1;
+                }
+                x1 = (GK2 << 3);
+                for (t = 0; t < 5; t++) {
+                    x0 = x0 + (9 >> 1);
+                }
+                emit_v (oa, (x1 - (x0 << 0)));
+            }
+        } abort (pa);
+    }
+}
+
+module gen1 (input pure pa, input int va, output int oa)
+{
+    int x0 = 7;
+    int x1 = 0;
+    int t;
+
+    while (1) {
+        await (va);
+        switch (va & 3) {
+        case 0:
+            x0 = ((x0 < x1) >> 3);
+            break;
+        case 1:
+        case 2:
+            x1 = ((x0 ^ 1) | x0);
+            break;
+        default:
+            x0 = 7;
+        }
+        emit_v (oa, (x0 + x1));
+    }
+}
+

@@ -1,0 +1,71 @@
+#define GK0 7
+#define GK1 1
+
+module gen0 (input pure pa, input pure pb, input int va, output int oa, output int ob, output pure qa)
+{
+    int x0 = 4;
+    int x1 = 7;
+    int t;
+
+    signal pure lnk;
+
+    par {
+        while (1) {
+            await (pa);
+            x0 = (GK0 * (x0 - 9));
+            emit (lnk);
+            emit_v (ob, GK0);
+        }
+        while (1) {
+            await (pb);
+            x1 = 5;
+            emit_v (oa, x1);
+            emit (qa);
+        }
+    }
+}
+
+module gen1 (input pure pa, input pure pb, output int oa, output pure qa)
+{
+    int x0 = 5;
+    int x1 = 5;
+    int t;
+
+    while (1) {
+        await (pa);
+        do {
+            while (1) {
+                await (pb);
+                while (x0 > 0) {
+                    x0 = x0 >> 1;
+                }
+                emit_v (oa, ((x1 | GK0) < (x1 << 3)));
+            }
+        } suspend (pa);
+    }
+}
+
+module gen2 (input pure pa, input int va, output int oa, output pure qa)
+{
+    int x0 = 5;
+    int x1 = 4;
+    int t;
+
+    while (1) {
+        await (va);
+        switch (va & 3) {
+        case 0:
+            x0 = ((16 ^ x1) < (x1 - x1));
+            break;
+        case 1:
+        case 2:
+            x1 = GK1;
+            break;
+        default:
+            x0 = 8;
+        }
+        emit_v (oa, (x0 + x1));
+        if ((va & 1) == 0) emit (qa);
+    }
+}
+

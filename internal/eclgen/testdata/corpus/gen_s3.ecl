@@ -1,0 +1,19 @@
+#define GK0 6
+#define GK1 1
+
+module gen0 (input pure pa, output int oa, output pure qa)
+{
+    int x0 = 5;
+    int x1 = 0;
+    int t;
+
+    while (1) {
+        await (pa);
+        for (t = 0; t < 7; t++) {
+            x0 = x0 + (t * t);
+        }
+        emit_v (oa, (x1 | (GK1 < x0)));
+        if (x0 > x1) emit (qa);
+    }
+}
+

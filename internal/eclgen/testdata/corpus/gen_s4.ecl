@@ -1,0 +1,45 @@
+#define GK0 5
+#define GK1 2
+#define GK2 12
+
+module gen0 (input pure pa, input int va, output int oa, output pure qa)
+{
+    int x0 = 5;
+    int x1 = 7;
+    int t;
+
+    while (1) {
+        await (va);
+        switch (va & 3) {
+        case 0:
+            x0 = GK0;
+            break;
+        case 1:
+        case 2:
+            x1 = GK0;
+            break;
+        default:
+            x0 = 4;
+        }
+        emit_v (oa, (x0 + x1));
+        if ((va & 1) == 0) emit (qa);
+    }
+}
+
+module gen1 (input pure pa, input pure pb, input int va, output int oa, output pure qa)
+{
+    int x0 = 5;
+    int x1 = 7;
+    int t;
+
+    while (1) {
+        await (pa);
+        while (x0 > 0) {
+            x0 = x0 >> 1;
+        }
+        x0 = x0;
+        emit_v (oa, 4);
+        if (x0 > x1) emit (qa);
+    }
+}
+

@@ -1,0 +1,70 @@
+#define GK0 5
+#define GK1 2
+
+module gen0 (input pure pa, input int va, output int oa, output pure qa)
+{
+    int x0 = 5;
+    int x1 = 0;
+    int t;
+
+    while (1) {
+        await ();
+        present (pa) {
+            x0 = x0 + (13 * x0);
+        } else {
+            x1 = 2;
+        }
+        emit_v (oa, x1);
+        if (x0 == x1) emit (qa);
+    }
+}
+
+module gen1 (input pure pa, input pure pb, input int va, output int oa, output pure qa)
+{
+    int x0 = 3;
+    int x1 = 6;
+    int t;
+
+    while (1) {
+        await (pa);
+        do {
+            while (1) {
+                await (pb);
+                while (x1 > 0) {
+                    x1 = x1 >> 1;
+                }
+                x1 = ((9 | GK1) << 0);
+                x0 = x1;
+                emit_v (oa, x1);
+            }
+        } weak_abort (pa)
+        handle {
+            emit (qa);
+        }
+    }
+}
+
+module gen2 (input pure pa, input int va, output int oa, output pure qa)
+{
+    int x0 = 4;
+    int x1 = 1;
+    int t;
+
+    while (1) {
+        await (va);
+        switch (va & 3) {
+        case 0:
+            x0 = x1;
+            break;
+        case 1:
+        case 2:
+            x1 = 14;
+            break;
+        default:
+            x0 = 3;
+        }
+        emit_v (oa, (x0 + x1));
+        if ((va & 1) == 0) emit (qa);
+    }
+}
+

@@ -1,0 +1,21 @@
+#define GK0 12
+#define GK1 9
+
+module gen0 (input pure pa, input pure pb, output int oa, output pure qa)
+{
+    int x0 = 6;
+    int x1 = 7;
+    int t;
+
+    while (1) {
+        await ();
+        present (pa) {
+            x0 = x0 + GK1;
+        } else {
+            x1 = (x1 + GK0);
+        }
+        emit_v (oa, GK0);
+        if (x0 == x1) emit (qa);
+    }
+}
+

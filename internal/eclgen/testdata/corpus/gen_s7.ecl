@@ -1,0 +1,42 @@
+#define GK0 7
+#define GK1 10
+
+module gen0 (input pure pa, input pure pb, input int va, output int oa, output pure qa)
+{
+    int x0 = 0;
+    int x1 = 6;
+    int t;
+
+    while (1) {
+        await (va);
+        switch (va & 3) {
+        case 0:
+            x0 = (11 ^ (x0 & 2));
+            break;
+        case 1:
+        case 2:
+            x1 = (va | (GK1 - x1));
+            break;
+        default:
+            x0 = 0;
+        }
+        emit_v (oa, (x0 + x1));
+        if ((va & 1) == 0) emit (qa);
+    }
+}
+
+module gen1 (input pure pa, input pure pb, output int oa)
+{
+    int x0 = 5;
+    int x1 = 4;
+    int t;
+
+    while (1) {
+        await (pa);
+        for (t = 0; t < 2; t++) {
+            x0 = x0 + (GK1 << 1);
+        }
+        emit_v (oa, GK0);
+    }
+}
+

@@ -1,0 +1,60 @@
+#define GK0 1
+#define GK1 6
+
+module gen0 (input pure pa, input pure pb, input int va, output int oa)
+{
+    int x0 = 5;
+    int x1 = 7;
+    int t;
+
+    while (1) {
+        await ();
+        present (pa) {
+            x0 = x0 + GK0;
+        } else {
+            x1 = (14 + x0);
+        }
+        emit_v (oa, (GK0 >> 3));
+    }
+}
+
+module gen1 (input pure pa, input pure pb, output int oa)
+{
+    int x0 = 0;
+    int x1 = 0;
+    int t;
+
+    while (1) {
+        await ();
+        present (pa) {
+            x0 = x0 + (x1 * GK1);
+        } else {
+            x1 = (GK1 ^ 3);
+        }
+        emit_v (oa, 4);
+    }
+}
+
+module gen2 (input pure pa, input pure pb, input int va, output int oa)
+{
+    int x0 = 6;
+    int x1 = 5;
+    int t;
+
+    while (1) {
+        await (va);
+        switch (va & 3) {
+        case 0:
+            x0 = (8 | va);
+            break;
+        case 1:
+        case 2:
+            x1 = ((x1 ^ x0) | x1);
+            break;
+        default:
+            x0 = 4;
+        }
+        emit_v (oa, (x0 + x1));
+    }
+}
+

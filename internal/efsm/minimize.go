@@ -16,16 +16,22 @@ func Minimize(m *Machine) (*Machine, int) {
 	if len(m.States) == 0 {
 		return m, 0
 	}
-	// class[i] is state i's current equivalence class.
+	// class[i] is state i's current equivalence class. Each round
+	// re-signs every state under the current classes and re-partitions
+	// by signature. The signature is prefixed with the state's current
+	// class, so a round can only ever split blocks, never merge them:
+	// the class count is monotone non-decreasing and bounded by the
+	// state count, which makes termination immediate. (Without the
+	// prefix, mutually-referring states can swap labels forever — the
+	// signatures chase the relabeling and the loop never settles.)
 	class := make(map[*State]int, len(m.States))
 	for _, s := range m.States {
 		class[s] = 0
 	}
-	for {
-		// Re-sign every state under the current classes.
+	for blocks := 1; ; {
 		sigs := make(map[*State]string, len(m.States))
 		for _, s := range m.States {
-			sigs[s] = treeSignature(s.Root, class)
+			sigs[s] = fmt.Sprintf("%09d|%s", class[s], treeSignature(s.Root, class))
 		}
 		// Assign new class ids by signature.
 		bySig := make(map[string]int)
@@ -36,20 +42,18 @@ func Minimize(m *Machine) (*Machine, int) {
 				order = append(order, sigs[s])
 			}
 		}
+		if len(order) == blocks {
+			// No block split this round; the partition is stable and
+			// the existing labels still describe it.
+			break
+		}
+		blocks = len(order)
 		sort.Strings(order)
 		for i, sg := range order {
 			bySig[sg] = i
 		}
-		changed := false
 		for _, s := range m.States {
-			nc := bySig[sigs[s]]
-			if nc != class[s] {
-				class[s] = nc
-				changed = true
-			}
-		}
-		if !changed {
-			break
+			class[s] = bySig[sigs[s]]
 		}
 	}
 

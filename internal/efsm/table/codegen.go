@@ -116,7 +116,7 @@ func (c *compiler) emitMetaFor(sig *kernel.Signal) int32 {
 func (c *compiler) expr(cx ectx, e ast.Expr) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		switch obj := c.info.Uses[e].(type) {
+		switch obj := c.info.UseOf(e).(type) {
 		case *sem.VarInfo:
 			c.varRef(cx, obj)
 		case *sem.SignalInfo:
@@ -248,7 +248,7 @@ func (c *compiler) expr(cx ectx, e ast.Expr) {
 			c.pushInt(c.p.tUint, int64(t.Size()))
 			return
 		}
-		t := c.info.ExprType[e.X]
+		t := c.info.TypeOf(e.X)
 		if t == nil {
 			c.exprErr("unresolved sizeof operand")
 			return
@@ -283,7 +283,7 @@ func (c *compiler) varRef(cx ectx, vi *sem.VarInfo) {
 func (c *compiler) lvalue(cx ectx, e ast.Expr) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		vi, ok := c.info.Uses[e].(*sem.VarInfo)
+		vi, ok := c.info.UseOf(e).(*sem.VarInfo)
 		if !ok {
 			c.exprErr("%q is not an assignable variable", e.Name)
 			return
@@ -403,7 +403,7 @@ func assignBinOp(op token.Kind) (token.Kind, bool) {
 }
 
 func (c *compiler) call(cx ectx, e *ast.Call) {
-	fi, ok := c.info.Uses[e.Fun].(*sem.FuncInfo)
+	fi, ok := c.info.UseOf(e.Fun).(*sem.FuncInfo)
 	if !ok {
 		c.exprErr("call of non-function %q", e.Fun.Name)
 		return

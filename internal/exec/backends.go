@@ -30,7 +30,10 @@ func init() {
 			return &interpMachine{
 				tbl: newSigTable(mod.Inputs, mod.Outputs),
 				d:   d,
-				m:   interp.NewMachine(mod, d.Program.Info),
+				// The lowered Info, not the program's: lowering registers
+				// synthesized nodes (decl initializers, inlined args) in a
+				// derived view that the base Info never sees.
+				m: interp.NewMachine(mod, d.Lowered.Info),
 			}, nil
 		},
 	})

@@ -61,11 +61,19 @@ type Result struct {
 
 // Lower compiles the named module (inlining its instantiations) into a
 // kernel module under the given policy.
+//
+// Lower never mutates the given Info: the resolution/type entries it
+// records for synthesized AST nodes (initializer assignments, switch
+// scratch variables) land in a derived view (sem.Info.Derive), which
+// the Result and its kernel bindings carry. One analyzed Info can
+// therefore be lowered concurrently for every module of a file — the
+// contract the shared-front-end batch path and TestLowerPure rely on.
 func Lower(info *sem.Info, name string, pol Policy, diags *source.DiagList) (*Result, error) {
 	mi := info.Modules[name]
 	if mi == nil {
 		return nil, fmt.Errorf("module %q not found", name)
 	}
+	info = info.Derive()
 	lw := &lowerer{
 		info:   info,
 		policy: pol,
@@ -305,7 +313,7 @@ func (lw *lowerer) lowerStmt(cx *instCtx, s ast.Stmt) kernel.Stmt {
 			return &kernel.Nothing{}
 		}
 		lhs := &ast.Ident{NamePos: s.Pos(), Name: s.Name}
-		lw.info.Uses[lhs] = lw.varInfoFor(cx, s)
+		lw.info.SetUse(lhs, lw.varInfoFor(cx, s))
 		return &kernel.Assign{
 			LHS: kernel.Expr{B: cx.b, E: lhs},
 			RHS: kernel.Expr{B: cx.b, E: s.Init},
@@ -452,7 +460,7 @@ func (lw *lowerer) varInfoFor(cx *instCtx, d *ast.VarDecl) *sem.VarInfo {
 // signalOf resolves a signal identifier through sem.Uses and the
 // instance binding.
 func (lw *lowerer) signalOf(cx *instCtx, id *ast.Ident) *kernel.Signal {
-	obj := lw.info.Uses[id]
+	obj := lw.info.UseOf(id)
 	si, ok := obj.(*sem.SignalInfo)
 	if !ok {
 		lw.errorf(id.Pos(), "%q does not resolve to a signal", id.Name)
@@ -632,7 +640,7 @@ func (lw *lowerer) lowerSwitch(cx *instCtx, s *ast.Switch) kernel.Stmt {
 	}
 	// Evaluate the tag once into a scratch variable.
 	lw.varSeq++
-	tagType := lw.info.ExprType[s.Tag]
+	tagType := lw.info.TypeOf(s.Tag)
 	if tagType == nil {
 		tagType = ctypes.Int
 	}
@@ -641,8 +649,8 @@ func (lw *lowerer) lowerSwitch(cx *instCtx, s *ast.Switch) kernel.Stmt {
 	tmpInfo := &sem.VarInfo{Name: tmp.Name, Mangled: tmp.Name, Type: tagType}
 	cx.b.Vars[tmpInfo] = tmp
 	tagRef := &ast.Ident{NamePos: s.Pos(), Name: tmp.Name}
-	lw.info.Uses[tagRef] = tmpInfo
-	lw.info.ExprType[tagRef] = tagType
+	lw.info.SetUse(tagRef, tmpInfo)
+	lw.info.SetExprType(tagRef, tagType)
 
 	brk := lw.newTrap("sw")
 	cx.loops = append(cx.loops, loopCtx{brk: brk})
@@ -671,12 +679,12 @@ func (lw *lowerer) lowerSwitch(cx *instCtx, s *ast.Switch) kernel.Stmt {
 		var cond ast.Expr
 		for _, v := range c.Values {
 			eq := &ast.Binary{X: tagRef, Op: token.EQL, Y: v}
-			lw.info.ExprType[eq] = ctypes.Int
+			lw.info.SetExprType(eq, ctypes.Int)
 			if cond == nil {
 				cond = eq
 			} else {
 				or := &ast.Binary{X: cond, Op: token.LOR, Y: eq}
-				lw.info.ExprType[or] = ctypes.Int
+				lw.info.SetExprType(or, ctypes.Int)
 				cond = or
 			}
 		}
@@ -706,7 +714,7 @@ func (lw *lowerer) lowerSwitch(cx *instCtx, s *ast.Switch) kernel.Stmt {
 // Module instantiation (inlining)
 
 func (lw *lowerer) inline(cx *instCtx, call *ast.Call) kernel.Stmt {
-	ref, _ := lw.info.Uses[call.Fun].(*sem.ModuleRef)
+	ref, _ := lw.info.UseOf(call.Fun).(*sem.ModuleRef)
 	if ref == nil {
 		lw.errorf(call.Pos(), "internal: unresolved module instantiation")
 		return &kernel.Nothing{}
@@ -727,7 +735,7 @@ func (lw *lowerer) inline(cx *instCtx, call *ast.Call) kernel.Stmt {
 		if !ok {
 			continue
 		}
-		si, _ := lw.info.Uses[id].(*sem.SignalInfo)
+		si, _ := lw.info.UseOf(id).(*sem.SignalInfo)
 		if si == nil {
 			continue
 		}

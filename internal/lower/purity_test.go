@@ -1,0 +1,194 @@
+package lower
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/parser"
+	"repro/internal/pp"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// puritySrc exercises every construct whose lowering synthesizes AST
+// nodes and records them in the analysis tables: initialized variable
+// declarations (an assignment with a fresh LHS ident), switch (scratch
+// tag variable plus synthesized ==/|| comparison chains), and module
+// instantiation (per-instance rebinding over the same declarations).
+const puritySrc = `
+module leaf (input int cmd, output int res) {
+	int acc = 3;
+	while (1) {
+		await(cmd);
+		switch (cmd) {
+		case 0:
+			acc = acc + 1;
+			break;
+		case 1:
+		case 2:
+			acc = acc * 2;
+			break;
+		default:
+			acc = 0;
+		}
+		emit_v(res, acc);
+	}
+}
+
+module top (input int cmd, output int res) {
+	int seed = 1;
+	par {
+		{ leaf(cmd, res); }
+		{ while (1) { await(cmd); seed = seed + cmd; } }
+	}
+}
+`
+
+type infoSnapshot struct {
+	uses     map[interface{}]sem.Object
+	exprType map[interface{}]interface{}
+	mayHalt  map[interface{}]bool
+	isInst   map[interface{}]bool
+	varOf    map[interface{}]*sem.VarInfo
+	typeOf   map[interface{}]interface{}
+	nTypes   int
+	nConsts  int
+	nFuncs   int
+	nModules int
+}
+
+func snapshotInfo(info *sem.Info) *infoSnapshot {
+	s := &infoSnapshot{
+		uses:     make(map[interface{}]sem.Object, len(info.Uses)),
+		exprType: make(map[interface{}]interface{}, len(info.ExprType)),
+		mayHalt:  make(map[interface{}]bool, len(info.MayHalt)),
+		isInst:   make(map[interface{}]bool, len(info.IsInst)),
+		varOf:    make(map[interface{}]*sem.VarInfo, len(info.VarOf)),
+		typeOf:   make(map[interface{}]interface{}, len(info.TypeOfExpr)),
+		nTypes:   len(info.Types),
+		nConsts:  len(info.Consts),
+		nFuncs:   len(info.Funcs),
+		nModules: len(info.Modules),
+	}
+	for k, v := range info.Uses {
+		s.uses[k] = v
+	}
+	for k, v := range info.ExprType {
+		s.exprType[k] = v
+	}
+	for k, v := range info.MayHalt {
+		s.mayHalt[k] = v
+	}
+	for k, v := range info.IsInst {
+		s.isInst[k] = v
+	}
+	for k, v := range info.VarOf {
+		s.varOf[k] = v
+	}
+	for k, v := range info.TypeOfExpr {
+		s.typeOf[k] = v
+	}
+	return s
+}
+
+func (s *infoSnapshot) diff(t *testing.T, info *sem.Info) {
+	t.Helper()
+	if len(info.Uses) != len(s.uses) {
+		t.Errorf("Uses grew: %d entries before lowering, %d after", len(s.uses), len(info.Uses))
+	}
+	for k, v := range info.Uses {
+		if want, ok := s.uses[k]; !ok || want != v {
+			t.Errorf("Uses entry for %p changed or appeared", k)
+		}
+	}
+	if len(info.ExprType) != len(s.exprType) {
+		t.Errorf("ExprType grew: %d entries before lowering, %d after", len(s.exprType), len(info.ExprType))
+	}
+	for k, v := range info.ExprType {
+		if want, ok := s.exprType[k]; !ok || want != interface{}(v) {
+			t.Errorf("ExprType entry for %p changed or appeared", k)
+		}
+	}
+	if len(info.MayHalt) != len(s.mayHalt) {
+		t.Errorf("MayHalt grew: %d -> %d", len(s.mayHalt), len(info.MayHalt))
+	}
+	if len(info.IsInst) != len(s.isInst) {
+		t.Errorf("IsInst grew: %d -> %d", len(s.isInst), len(info.IsInst))
+	}
+	if len(info.VarOf) != len(s.varOf) {
+		t.Errorf("VarOf grew: %d -> %d", len(s.varOf), len(info.VarOf))
+	}
+	if len(info.TypeOfExpr) != len(s.typeOf) {
+		t.Errorf("TypeOfExpr grew: %d -> %d", len(s.typeOf), len(info.TypeOfExpr))
+	}
+	if len(info.Types) != s.nTypes || len(info.Consts) != s.nConsts ||
+		len(info.Funcs) != s.nFuncs || len(info.Modules) != s.nModules {
+		t.Errorf("declaration tables changed size")
+	}
+}
+
+// TestLowerPure is the purity regression guard the shared-front-end
+// batch path rests on: lowering the same analyzed Info twice (and for
+// every module, under both policies) must leave every analysis table
+// bit-identical, with synthesized-node entries confined to the derived
+// view each Result carries.
+func TestLowerPure(t *testing.T) {
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("purity.ecl", puritySrc))
+	f := parser.ParseFile(expanded, &diags)
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front end:\n%s", diags.String())
+	}
+	before := snapshotInfo(info)
+
+	for _, pol := range []Policy{MaximalReactive, MinimalReactive} {
+		for _, mod := range []string{"leaf", "top"} {
+			for i := 0; i < 2; i++ {
+				var ldiags source.DiagList
+				res, err := Lower(info, mod, pol, &ldiags)
+				if err != nil {
+					t.Fatalf("Lower(%s, %s) #%d: %v", mod, pol, i, err)
+				}
+				if res.Info == info {
+					t.Fatalf("Lower(%s, %s) returned the base Info instead of a derived view", mod, pol)
+				}
+				before.diff(t, info)
+			}
+		}
+	}
+}
+
+// TestLowerPureConcurrent lowers every module of one analyzed file from
+// many goroutines at once — the exact shape of the shared-front-end
+// batch path — and relies on the race detector to catch any write to
+// the shared tables.
+func TestLowerPureConcurrent(t *testing.T) {
+	var diags source.DiagList
+	expanded := pp.New(&diags, nil).Expand(source.NewFile("purity.ecl", puritySrc))
+	f := parser.ParseFile(expanded, &diags)
+	info := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front end:\n%s", diags.String())
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		mod := []string{"leaf", "top"}[i%2]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ldiags source.DiagList
+			res, err := Lower(info, mod, MaximalReactive, &ldiags)
+			if err != nil {
+				t.Errorf("Lower(%s): %v", mod, err)
+				return
+			}
+			if n := count(res.Module.Body, func(s kernel.Stmt) bool { _, ok := s.(*kernel.Await); return ok }); n == 0 {
+				t.Errorf("Lower(%s): no awaits in kernel body", mod)
+			}
+		}()
+	}
+	wg.Wait()
+}

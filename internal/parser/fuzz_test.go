@@ -5,9 +5,20 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/eclgen"
 	"repro/internal/paperex"
 	"repro/internal/source"
 )
+
+// seedGenerated adds the eclgen mini-corpus (pinned under
+// internal/eclgen/testdata/corpus), so mutation starts from machine-
+// generated shapes — deep preemption nests, wrapper instantiations —
+// that the hand-written examples don't cover.
+func seedGenerated(f *testing.F) {
+	for _, c := range eclgen.Corpus() {
+		f.Add(eclgen.Generate(c.Config))
+	}
+}
 
 // seedExamples widens the corpus with every shipped example (ROADMAP:
 // the .ecl corpus under examples/), so fuzzing mutates real designs —
@@ -42,6 +53,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("module m (") // truncated
 	f.Add("x \x00 \xff ?")
 	seedExamples(f)
+	seedGenerated(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {
 			t.Skip("oversized input")

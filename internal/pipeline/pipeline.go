@@ -31,15 +31,11 @@ import (
 	"sync"
 
 	"repro/internal/analyze"
-	"repro/internal/ast"
 	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/efsm"
 	"repro/internal/lower"
-	"repro/internal/parser"
-	"repro/internal/pp"
-	"repro/internal/sem"
 	"repro/internal/source"
 )
 
@@ -151,6 +147,10 @@ const (
 	// cache (memory or v1 disk), so the phase was never consulted
 	// individually. Set by the driver, not the Runner.
 	StatusDesignHit Status = "design-hit"
+	// StatusShared: the phase's output was reused from the file-level
+	// compilation unit another request of the same batch already built
+	// (parse and sem run once per file; see unitFor).
+	StatusShared Status = "shared"
 	// StatusFailed: the phase ran and failed.
 	StatusFailed Status = "failed"
 )
@@ -165,6 +165,9 @@ type PhaseResult struct {
 // PhaseCounts aggregates one phase's traffic across requests.
 type PhaseCounts struct {
 	MemHits, DiskHits, RemoteHits, Rebuilds, Failures int64
+	// Shared counts requests served from another request's file-level
+	// compilation unit (front-end sharing; parse/sem only).
+	Shared int64
 }
 
 // PhaseStats maps each phase to its aggregated traffic.
@@ -216,10 +219,16 @@ type Runner struct {
 	Remote cache.Tier
 	// NoCache disables every tier (every phase rebuilds).
 	NoCache bool
+	// NoShare disables front-end sharing: every request re-runs parse
+	// and sem over its file instead of reusing the per-file unit.
+	// Orthogonal to NoCache (sharing is intra-batch reuse, not a cache
+	// tier); used to benchmark the per-module-front-end baseline.
+	NoShare bool
 
 	mu     sync.Mutex
 	mem    map[string]map[string]string // phase key -> blob name -> content
 	stored map[string]bool              // phase keys already persisted by this process
+	units  map[string]*unit             // parse key -> shared front end
 	stats  PhaseStats
 }
 
@@ -254,6 +263,8 @@ func (r *Runner) count(ph Phase, st Status) {
 		c.RemoteHits++
 	case StatusRebuilt:
 		c.Rebuilds++
+	case StatusShared:
+		c.Shared++
 	case StatusFailed:
 		c.Failures++
 	}
@@ -377,33 +388,31 @@ func (r *Runner) Run(req Request) *Result {
 		return res
 	}
 
-	// parse: preprocess + parse. Always runs (reparsing the stored AST
-	// would cost as much as parsing the source); the printed AST is
-	// still snapshotted for external consumers of the v2 store.
-	parseKey := KeyParse(req.Path, req.Source, req.Opts)
-	var diags source.DiagList
-	prep := pp.New(&diags, pp.MapResolver(req.Opts.Includes))
-	for k, v := range req.Opts.Defines {
-		prep.Define(k, v)
+	// parse + sem: the file-level compilation unit. The front end runs
+	// once per (path, source, preprocessor config) and is shared by
+	// every module of the file — lowering never mutates the analysis
+	// tables (sem.Info.Derive), so the unit fans out safely. The
+	// request that builds the unit records rebuilt; followers record
+	// shared. sem itself stays un-snapshotted (its tables are
+	// pointer-keyed); its key anchors the chain.
+	u, built := r.unitFor(req)
+	frontStatus := StatusShared
+	if built {
+		frontStatus = StatusRebuilt
 	}
-	expanded := prep.Expand(source.NewFile(req.Path, req.Source))
-	file := parser.ParseFile(expanded, &diags)
-	if diags.HasErrors() {
-		return fail(PhaseParse, parseKey, diags.Err())
+	if u.err != nil && u.errPhase == PhaseParse {
+		return fail(PhaseParse, u.parseKey, u.err)
 	}
-	record(PhaseParse, parseKey, StatusRebuilt)
-	if !r.alreadyStored(parseKey) {
-		r.putSnap(PhaseParse, parseKey, map[string]string{blobAST: ast.String(file)})
+	record(PhaseParse, u.parseKey, frontStatus)
+	if u.err != nil {
+		return fail(PhaseSem, u.semKey, u.err)
 	}
+	record(PhaseSem, u.semKey, frontStatus)
+	file, info, semKey := u.file, u.info, u.semKey
 
-	// sem: semantic analysis. Not snapshotable (the analysis tables are
-	// pointer-keyed), so it always runs; its key anchors the chain.
-	semKey := KeySem(parseKey)
-	info := sem.Analyze(file, &diags)
-	if diags.HasErrors() {
-		return fail(PhaseSem, semKey, diags.Err())
-	}
-	record(PhaseSem, semKey, StatusRebuilt)
+	// Diagnostics below here are per-request: the unit's front-end list
+	// is shared across concurrent module walks and must stay read-only.
+	var diags source.DiagList
 
 	// Resolve the module selection (the eclc "last module" convention).
 	module := req.Module

@@ -117,6 +117,82 @@ type Info struct {
 	VarOf map[*ast.VarDecl]*VarInfo
 	// TypeOfExpr caches resolved syntactic types (casts, sizeof).
 	TypeOfExpr map[ast.TypeExpr]ctypes.Type
+
+	// overlay, when non-nil, receives entries recorded after analysis
+	// (lowering and code generation synthesize AST nodes and register
+	// their resolution/type here) without touching the shared base maps
+	// above. See Derive.
+	overlay *overlay
+}
+
+// overlay holds post-analysis Uses/ExprType entries private to one
+// Derive chain. Overlays never shadow base entries — writers only
+// register freshly synthesized nodes — so lookups may consult base and
+// overlay in either order; the parent link supports deriving from an
+// already-derived Info (e.g. code generation over a lowering's view).
+type overlay struct {
+	parent   *overlay
+	uses     map[*ast.Ident]Object
+	exprType map[ast.Expr]ctypes.Type
+}
+
+// Derive returns a view of i that records new Uses/ExprType entries
+// privately, leaving i untouched. It is cheap (no table copying), so
+// one analyzed Info can feed any number of concurrent consumers:
+// lowering derives a view per module, writes only to it, and the base
+// tables stay immutable after Analyze returns.
+func (i *Info) Derive() *Info {
+	d := *i
+	d.overlay = &overlay{
+		parent:   i.overlay,
+		uses:     make(map[*ast.Ident]Object),
+		exprType: make(map[ast.Expr]ctypes.Type),
+	}
+	return &d
+}
+
+// SetUse records the resolution of a synthesized identifier. On a
+// derived Info the entry lands in the private overlay; on a base Info
+// (during analysis) it writes the shared table.
+func (i *Info) SetUse(id *ast.Ident, obj Object) {
+	if i.overlay != nil {
+		i.overlay.uses[id] = obj
+		return
+	}
+	i.Uses[id] = obj
+}
+
+// SetExprType records the value type of a synthesized expression,
+// following the same overlay rule as SetUse.
+func (i *Info) SetExprType(e ast.Expr, t ctypes.Type) {
+	if i.overlay != nil {
+		i.overlay.exprType[e] = t
+		return
+	}
+	i.ExprType[e] = t
+}
+
+// UseOf resolves an identifier occurrence, consulting the overlay
+// chain and the base table. Post-analysis consumers that may see
+// synthesized nodes must use this instead of reading Uses directly.
+func (i *Info) UseOf(id *ast.Ident) Object {
+	for o := i.overlay; o != nil; o = o.parent {
+		if obj, ok := o.uses[id]; ok {
+			return obj
+		}
+	}
+	return i.Uses[id]
+}
+
+// TypeOf reports the value type of an expression, consulting the
+// overlay chain and the base table (nil when unrecorded).
+func (i *Info) TypeOf(e ast.Expr) ctypes.Type {
+	for o := i.overlay; o != nil; o = o.parent {
+		if t, ok := o.exprType[e]; ok {
+			return t
+		}
+	}
+	return i.ExprType[e]
 }
 
 // Analyze type-checks the file and returns the accumulated Info. Errors
