@@ -1,0 +1,170 @@
+// Analyzer robustness and soundness over the generated corpus: the
+// abstract interpreter must digest every machine eclgen can produce
+// without panicking, its findings must replay byte-identically from
+// every cache tier, and its "certain trap" verdicts must agree with
+// the concrete interpreter actually trapping.
+package ecl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cval"
+	"repro/internal/eclgen"
+	"repro/internal/exec"
+	"repro/internal/pipeline"
+)
+
+// analyzeCorpus runs every module of every seeded program through one
+// Runner with analysis on and renders the merged findings as one
+// deterministic string.
+func analyzeCorpus(t *testing.T, r *pipeline.Runner, seeds int) string {
+	t.Helper()
+	var all []analyze.Finding
+	seen := map[string]bool{}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := eclgen.Program(seed)
+		path := fmt.Sprintf("gen%03d.ecl", seed)
+		req := pipeline.Request{Path: path, Source: src, Analyze: true}
+		mods, _, err := r.Modules(req)
+		if err != nil {
+			t.Fatalf("seed %d: front end: %v", seed, err)
+		}
+		for _, mod := range mods {
+			req.Module = mod
+			res := r.Run(req)
+			if res.Err != nil {
+				t.Fatalf("seed %d module %s: %v", seed, mod, res.Err)
+			}
+			if res.Findings == nil || res.FileFindings == nil {
+				t.Fatalf("seed %d module %s: analysis did not run", seed, mod)
+			}
+			for _, f := range append(append([]analyze.Finding(nil), res.Findings...), res.FileFindings...) {
+				if line := f.String(); !seen[line] {
+					seen[line] = true
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	analyze.Sort(all)
+	var b strings.Builder
+	for _, f := range all {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// phaseTraffic sums one phase's counters across a runner's stats.
+func phaseTraffic(st pipeline.PhaseStats, ph pipeline.Phase) pipeline.PhaseCounts {
+	return st[ph]
+}
+
+// TestAnalyzerGeneratedCorpus drives the analyzer over 100 generated
+// programs and pins cold/warm determinism across all three snapshot
+// tiers: memory (same runner re-run), disk (fresh runner, same store),
+// and remote (fresh runner, store behind the remote interface).
+func TestAnalyzerGeneratedCorpus(t *testing.T) {
+	const seeds = 100
+	dir := t.TempDir()
+	store, err := cache.Open(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := pipeline.NewRunner(store)
+	coldOut := analyzeCorpus(t, cold, seeds)
+	if c := phaseTraffic(cold.Stats(), pipeline.PhaseAnalyze); c.Rebuilds == 0 {
+		t.Fatalf("cold run rebuilt no analyze phases: %+v", c)
+	}
+
+	// Memory tier: the same runner serves the same corpus from its
+	// in-process snapshots.
+	memOut := analyzeCorpus(t, cold, seeds)
+	if memOut != coldOut {
+		t.Errorf("memory replay diverged from cold findings")
+	}
+
+	// Disk tier: a fresh runner over the same store must replay every
+	// findings snapshot without re-analyzing.
+	warm := pipeline.NewRunner(store)
+	warmOut := analyzeCorpus(t, warm, seeds)
+	if warmOut != coldOut {
+		t.Errorf("disk replay diverged from cold findings")
+	}
+	wc := phaseTraffic(warm.Stats(), pipeline.PhaseAnalyze)
+	if wc.Rebuilds != 0 {
+		t.Errorf("warm disk run re-analyzed %d modules", wc.Rebuilds)
+	}
+	if wc.DiskHits == 0 {
+		t.Errorf("warm disk run had no analyze disk hits: %+v", wc)
+	}
+	wf := phaseTraffic(warm.Stats(), pipeline.PhaseAnalyzeFile)
+	if wf.Rebuilds != 0 {
+		t.Errorf("warm disk run re-ran %d analyze-file phases", wf.Rebuilds)
+	}
+
+	// Remote tier: same store served through the cache.Tier interface
+	// with no local disk in front.
+	remote := &pipeline.Runner{Remote: store}
+	remoteOut := analyzeCorpus(t, remote, seeds)
+	if remoteOut != coldOut {
+		t.Errorf("remote replay diverged from cold findings")
+	}
+	rc := phaseTraffic(remote.Stats(), pipeline.PhaseAnalyze)
+	if rc.Rebuilds != 0 {
+		t.Errorf("remote run re-analyzed %d modules", rc.Rebuilds)
+	}
+	if rc.RemoteHits == 0 {
+		t.Errorf("remote run had no analyze remote hits: %+v", rc)
+	}
+}
+
+// TestAnalyzerTrapSoundness cross-checks ECL030 against the concrete
+// interpreter: a program the analyzer says traps on every execution
+// must actually abort when stepped.
+func TestAnalyzerTrapSoundness(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("internal", "analyze", "testdata", "vet", "ecl030_div_by_zero.ecl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Parse("ecl030.ecl", string(src), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := prog.Compile("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasECL030 bool
+	for _, f := range analyze.Analyze(design) {
+		if f.Rule == "ECL030" {
+			hasECL030 = true
+		}
+	}
+	if !hasECL030 {
+		t.Fatal("analyzer did not flag the guaranteed division by zero")
+	}
+	m, err := exec.Open("interp", design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The await is delayed, so the first presented trigger can pass
+	// boot; within a few instants the division must trap.
+	for i := 0; i < 5; i++ {
+		if _, err := m.Step(map[string]cval.Value{"t": {}}); err != nil {
+			if !strings.Contains(err.Error(), "zero") {
+				t.Fatalf("trapped with unexpected error: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("ECL030-flagged program stepped 5 instants without trapping")
+}

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analyze"
 	"repro/internal/cache"
 	"repro/internal/cache/remote"
 	"repro/internal/core"
@@ -168,7 +169,7 @@ func main() {
 	writtenBy := map[string]string{}  // output path -> source file
 	for i := range results {
 		res := &results[i]
-		for _, f := range res.Findings {
+		for _, f := range append(append([]analyze.Finding(nil), res.Findings...), res.FileFindings...) {
 			line := f.String()
 			if seenFindings[line] {
 				continue

@@ -1,7 +1,12 @@
-// Command ecllint runs the repo's own Go linters. Today that is one
-// checker, httpjsonlint: HTTP handlers must encode JSON responses
-// through internal/httpjson instead of a raw json.NewEncoder over the
-// http.ResponseWriter (which drops Content-Type and encode errors).
+// Command ecllint runs the repo's own Go linters:
+//
+//   - httpjsonlint: HTTP handlers must encode JSON responses through
+//     internal/httpjson instead of a raw json.NewEncoder over the
+//     http.ResponseWriter (which drops Content-Type and encode errors);
+//   - vetcoverage: every rule ID in the ECL analyzer's registry must
+//     have a seeded trigger program and golden finding file under
+//     internal/analyze/testdata/vet (checked for any lint root that
+//     contains that directory).
 //
 // Usage:
 //
@@ -15,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint/httpjsonlint"
+	"repro/internal/lint/vetcoverage"
 )
 
 func main() {
@@ -39,6 +46,18 @@ func main() {
 		for _, f := range findings {
 			found = true
 			fmt.Println(f)
+		}
+		vetDir := filepath.Join(root, "internal", "analyze", "testdata", "vet")
+		if fi, err := os.Stat(vetDir); err == nil && fi.IsDir() {
+			covFindings, err := vetcoverage.CheckDir(vetDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecllint:", err)
+				os.Exit(2)
+			}
+			for _, f := range covFindings {
+				found = true
+				fmt.Println(f)
+			}
 		}
 	}
 	if found {

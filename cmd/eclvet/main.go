@@ -12,10 +12,11 @@
 // concurrently over internal/driver's worker pool.
 //
 // -rules filters the report to a comma-separated set of rule IDs
-// (e.g. -rules ECL001,ECL022); -json emits the findings as a JSON
-// array on stdout instead of one line per finding; -list prints the
-// rule table and exits. Findings go to stdout; build failures go to
-// stderr.
+// (e.g. -rules ECL001,ECL022); -severity filters by severity (error
+// keeps only the value-flow certainties, warning only the heuristics);
+// -json emits the findings as a JSON array on stdout instead of one
+// line per finding; -list prints the rule table and exits. Findings go
+// to stdout; build failures go to stderr.
 //
 // Exit status: 0 when every module analyzed clean, 1 when there were
 // findings, 2 when a module failed to compile (or the command line was
@@ -44,6 +45,7 @@ func main() {
 	module := flag.String("module", "", "module to analyze (default: last module per file, or every module in batch mode)")
 	all := flag.Bool("all", false, "analyze every module of every input file")
 	rulesFlag := flag.String("rules", "", "comma-separated rule IDs to report (default: all)")
+	severity := flag.String("severity", "", "only report findings of this severity: error or warning (default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "print the rule table and exit")
 	policy := flag.String("policy", "maximal", "splitter policy: maximal or minimal")
@@ -58,9 +60,14 @@ func main() {
 
 	if *list {
 		for _, r := range analyze.Rules() {
-			fmt.Printf("%s\t%-6s\t%s\n", r.ID, r.Level, r.Doc)
+			fmt.Printf("%s\t%-6s\t%-7s\t%s\n", r.ID, r.Level, r.Severity, r.Doc)
 		}
 		return
+	}
+	switch *severity {
+	case "", analyze.SeverityError, analyze.SeverityWarning:
+	default:
+		fatal(fmt.Errorf("unknown severity %q (error or warning)", *severity))
 	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: eclvet [flags] file.ecl [file2.ecl ... | dir]")
@@ -154,7 +161,11 @@ func main() {
 			}
 			continue
 		}
-		for _, f := range analyze.Filter(res.Findings, keep) {
+		// Module findings plus the file's design-level findings; the
+		// latter repeat for every module of the file and dedup away.
+		merged := analyze.Filter(res.Findings, keep)
+		merged = append(merged, analyze.Filter(res.FileFindings, keep)...)
+		for _, f := range analyze.FilterSeverity(merged, *severity) {
 			if line := f.String(); !seen[line] {
 				seen[line] = true
 				findings = append(findings, f)

@@ -105,6 +105,12 @@ type AnalyzerRule = analyze.Rule
 // analysis through BuildRequest.Analyze instead.
 func Analyze(d *Design) []Finding { return analyze.Analyze(d) }
 
+// AnalyzeFile runs the design-level rules (interface wiring across
+// every module of a translation unit) over a parsed program and
+// returns the findings, sorted by position. Module-level rules run
+// through Analyze; the pipeline runs both when asked to analyze.
+func AnalyzeFile(p *Program) []Finding { return analyze.AnalyzeFile(p.Info) }
+
 // AnalyzerRules lists the shipped static-analysis rules, in report
 // order.
 func AnalyzerRules() []AnalyzerRule { return analyze.Rules() }

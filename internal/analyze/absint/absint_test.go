@@ -1,0 +1,228 @@
+package absint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze/absint"
+	"repro/internal/core"
+)
+
+func TestValLattice(t *testing.T) {
+	if !absint.Bot().IsBot() || !absint.Top().IsTop() {
+		t.Fatal("Bot/Top constructors broken")
+	}
+	if c, ok := absint.Const(7).Const(); !ok || c != 7 {
+		t.Errorf("Const(7).Const() = %d, %v", c, ok)
+	}
+	v := absint.Interval(3, 9)
+	if lo, hi, ok := v.Bounds(); !ok || lo != 3 || hi != 9 {
+		t.Errorf("Bounds() = %d, %d, %v", lo, hi, ok)
+	}
+	if _, ok := v.Const(); ok {
+		t.Error("non-singleton interval reported as constant")
+	}
+	// An empty interval is Bot: no concrete value satisfies it.
+	if !absint.Interval(5, 2).IsBot() {
+		t.Error("empty interval did not normalize to Bot")
+	}
+	if !v.Contains(3) || !v.Contains(9) || v.Contains(10) || v.Contains(2) {
+		t.Error("Contains misjudges interval membership")
+	}
+	if absint.Top().Contains(123) != true {
+		t.Error("Top must contain everything")
+	}
+	if absint.Bot().Contains(0) {
+		t.Error("Bot must contain nothing")
+	}
+	if !absint.Interval(1, 5).DefinitelyTrue() || !absint.Interval(-4, -1).DefinitelyTrue() {
+		t.Error("nonzero-only interval not definitely true")
+	}
+	if absint.Interval(0, 5).DefinitelyTrue() {
+		t.Error("interval containing zero must not be definitely true")
+	}
+	if !absint.Const(0).DefinitelyFalse() || absint.Interval(0, 1).DefinitelyFalse() {
+		t.Error("DefinitelyFalse misjudges")
+	}
+	for _, v := range []absint.Val{absint.Bot(), absint.Top(), absint.Const(3), absint.Interval(-2, 8)} {
+		if v.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestStoreOps(t *testing.T) {
+	s := absint.NewStore()
+	if s.Bot {
+		t.Fatal("fresh store is Bot")
+	}
+	c := s.Clone()
+	c.SetBot()
+	if s.Bot {
+		t.Error("SetBot on a clone leaked into the original")
+	}
+	// Joining a Bot store into a live one changes nothing.
+	live := absint.NewStore()
+	if live.JoinWith(c) {
+		t.Error("join with Bot store reported a change")
+	}
+}
+
+// analyzeSrc compiles one module and runs the abstract interpreter.
+func analyzeSrc(t *testing.T, src, module string) *absint.Result {
+	t.Helper()
+	prog, err := core.Parse("t.ecl", src, core.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := prog.Compile(module)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return absint.Analyze(d.Machine, nil)
+}
+
+// TestAnalyzeTrapDivZero: a provably-zero divisor must surface exactly
+// one div-zero trap under the converged stores.
+func TestAnalyzeTrapDivZero(t *testing.T) {
+	res := analyzeSrc(t, `
+module m (input pure t, input int x, output int o)
+{
+    int d;
+    d = 0;
+    while (1) {
+        await (t);
+        emit_v (o, x / d);
+    }
+}
+`, "m")
+	var div int
+	for _, tr := range res.Traps {
+		if tr.Kind == absint.TrapDivZero {
+			div++
+		}
+	}
+	if div != 1 {
+		t.Errorf("got %d div-zero traps, want 1: %+v", div, res.Traps)
+	}
+}
+
+// TestAnalyzeNoFalseTrap: a divisor the environment controls must not
+// trap — the input is havocked to its full type range every instant.
+func TestAnalyzeNoFalseTrap(t *testing.T) {
+	res := analyzeSrc(t, `
+module m (input pure t, input int x, output int o)
+{
+    while (1) {
+        await (t);
+        emit_v (o, 100 / (x + 1));
+    }
+}
+`, "m")
+	if len(res.Traps) != 0 {
+		t.Errorf("unexpected traps on environment-driven divisor: %+v", res.Traps)
+	}
+}
+
+// TestAnalyzeGuardNarrowing: inside `if (k > 10)` the store must know
+// k > 10; with k provably in [2,3] the branch is refuted and the path
+// carries RefIndex 0.
+func TestAnalyzeGuardNarrowing(t *testing.T) {
+	res := analyzeSrc(t, `
+module m (input pure t, output int o)
+{
+    int k;
+    k = 3;
+    while (1) {
+        await (t);
+        if (k > 10) {
+            emit_v (o, k);
+        } else {
+            k = 2;
+        }
+    }
+}
+`, "m")
+	var refuted int
+	for _, facts := range res.Paths {
+		for _, pf := range facts {
+			if pf.RefIndex == 0 && pf.RefExpr != nil {
+				refuted++
+			}
+		}
+	}
+	if refuted == 0 {
+		t.Error("interval analysis did not refute the k > 10 guard")
+	}
+}
+
+// TestAnalyzeValueReachability: the state behind a refuted guard is
+// not value-reachable, while every other state is.
+func TestAnalyzeValueReachability(t *testing.T) {
+	res := analyzeSrc(t, `
+module m (input pure t, output pure o)
+{
+    int k;
+    k = 3;
+    while (1) {
+        await (t);
+        if (k > 10) {
+            await (t);
+            emit (o);
+        } else {
+            k = 2;
+            emit (o);
+        }
+    }
+}
+`, "m")
+	reach := len(res.Reachable)
+	total := 0
+	for range res.In {
+		total++
+	}
+	if reach != total {
+		t.Fatalf("Reachable (%d) and In (%d) disagree", reach, total)
+	}
+	// The machine has three states (boot, main await, inner await); the
+	// inner one must be missing.
+	if reach != 2 {
+		t.Errorf("got %d value-reachable states, want 2", reach)
+	}
+}
+
+// TestAnalyzeLoopWidening: a counter bumped every instant must
+// converge (widening) without losing the guard refutation soundness —
+// `k < 0` stays refutable only if widening kept the lower bound.
+func TestAnalyzeLoopWidening(t *testing.T) {
+	res := analyzeSrc(t, `
+module m (input pure t, output int o)
+{
+    int k;
+    k = 0;
+    while (1) {
+        await (t);
+        k = k + 1;
+        emit_v (o, k);
+    }
+}
+`, "m")
+	if len(res.Reachable) == 0 {
+		t.Fatal("analysis lost every state")
+	}
+	if len(res.Traps) != 0 {
+		// k+1 can overflow only after 2^31 instants; widening to the
+		// full int32 range must not turn that into a certain wrap.
+		t.Errorf("widened counter produced spurious traps: %+v", res.Traps)
+	}
+}
+
+// TestTrapKindStrings pins the trap kinds' wire names, which appear in
+// finding messages.
+func TestTrapKindStrings(t *testing.T) {
+	for _, k := range []absint.TrapKind{absint.TrapDivZero, absint.TrapShift, absint.TrapWrap} {
+		if strings.TrimSpace(string(k)) == "" {
+			t.Error("empty trap kind name")
+		}
+	}
+}

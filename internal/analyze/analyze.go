@@ -17,9 +17,18 @@
 //	ECL0xx (x < 10)  semantic tables (unused declarations, dead awaits)
 //	ECL01x           kernel IR (emit conflicts, dead code, constant branches)
 //	ECL02x           EFSM (unreachable states, dead transitions, idle I/O)
+//	ECL03x           value flow (abstract interpretation over the EFSM:
+//	                 certain traps, interval-refuted guards, dead stores)
+//	ECL04x           design level (whole-file interface wiring, via
+//	                 AnalyzeFile over the shared compilation unit)
 //
 // IDs are stable: a rule is never renumbered, and retired IDs are not
 // reused.
+//
+// Severities: ECL03x findings are "error" — the abstract interpreter
+// only reports facts that hold on every concrete run (a guaranteed
+// trap, a provably dead transition). Every heuristic rule stays
+// "warning".
 package analyze
 
 import (
@@ -28,6 +37,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/sem"
 	"repro/internal/source"
 )
 
@@ -37,8 +47,9 @@ import (
 type Finding struct {
 	// Rule is the stable rule ID, e.g. "ECL001".
 	Rule string `json:"rule"`
-	// Severity is "warning" for every current rule (the analyzer only
-	// runs on designs that already compiled, so nothing is an error).
+	// Severity is "error" for certainties (the ECL03x value-flow rules,
+	// whose findings hold on every concrete run) and "warning" for
+	// heuristic rules.
 	Severity string `json:"severity"`
 	// File/Line/Col locate the finding; zero values mean the rule has
 	// no better anchor than the module itself.
@@ -72,6 +83,18 @@ const (
 	LevelSem    Level = "sem"
 	LevelKernel Level = "kernel"
 	LevelEFSM   Level = "efsm"
+	// LevelValue rules run the abstract interpreter (internal/analyze/
+	// absint) over the compiled EFSM.
+	LevelValue Level = "value"
+	// LevelDesign rules inspect the whole file's semantic tables at
+	// once (AnalyzeFile); they run once per file, not per module.
+	LevelDesign Level = "design"
+)
+
+// Severities.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
 )
 
 // Rule describes one analyzer rule.
@@ -80,30 +103,42 @@ type Rule struct {
 	ID string
 	// Level is the IR level the rule inspects.
 	Level Level
+	// Severity is the severity of the rule's findings: "error" for
+	// certainties, "warning" for heuristics.
+	Severity string
 	// Doc is a one-line description of what the rule catches.
 	Doc string
 
-	run func(*pass)
+	run     func(*pass)     // per-module rules
+	runFile func(*filePass) // design-level (per-file) rules
 }
 
 // rulesVersion versions the shipped rule set; it is folded into the
 // analyze phase's content key so that adding, removing, or changing a
 // rule invalidates cached findings.
-const rulesVersion = 1
+const rulesVersion = 2
 
 // rules is the shipped rule table, in report order. IDs are stable.
 var rules = []Rule{
-	{ID: "ECL001", Level: LevelSem, Doc: "signal (interface parameter or local) never referenced in the module body", run: (*pass).unusedSignals},
-	{ID: "ECL002", Level: LevelSem, Doc: "variable declared but never referenced", run: (*pass).unusedVars},
-	{ID: "ECL003", Level: LevelSem, Doc: "data function never called from any module", run: (*pass).unusedFuncs},
-	{ID: "ECL004", Level: LevelSem, Doc: "await/present tests a non-input signal that is never emitted (can never hold)", run: (*pass).deadAwaits},
-	{ID: "ECL010", Level: LevelKernel, Doc: "valued signal emitted by two parallel branches (same-instant write-write conflict)", run: (*pass).emitConflicts},
-	{ID: "ECL011", Level: LevelKernel, Doc: "unreachable code after a statement that never terminates (halt, non-exiting loop)", run: (*pass).deadCode},
-	{ID: "ECL012", Level: LevelKernel, Doc: "data branch condition is compile-time constant", run: (*pass).constBranches},
-	{ID: "ECL020", Level: LevelEFSM, Doc: "state reachable only through transitions with unsatisfiable guards", run: (*pass).unreachableStates},
-	{ID: "ECL021", Level: LevelEFSM, Doc: "transition guard is unsatisfiable (contradictory data conditions)", run: (*pass).deadTransitions},
-	{ID: "ECL022", Level: LevelEFSM, Doc: "input signal never tested or read by any reachable transition", run: (*pass).idleInputs},
-	{ID: "ECL023", Level: LevelEFSM, Doc: "output signal never emitted by any reachable transition", run: (*pass).idleOutputs},
+	{ID: "ECL001", Level: LevelSem, Severity: SeverityWarning, Doc: "signal (interface parameter or local) never referenced in the module body", run: (*pass).unusedSignals},
+	{ID: "ECL002", Level: LevelSem, Severity: SeverityWarning, Doc: "variable declared but never referenced", run: (*pass).unusedVars},
+	{ID: "ECL003", Level: LevelSem, Severity: SeverityWarning, Doc: "data function never called from any module", run: (*pass).unusedFuncs},
+	{ID: "ECL004", Level: LevelSem, Severity: SeverityWarning, Doc: "await/present tests a non-input signal that is never emitted (can never hold)", run: (*pass).deadAwaits},
+	{ID: "ECL010", Level: LevelKernel, Severity: SeverityWarning, Doc: "valued signal emitted by two parallel branches (same-instant write-write conflict)", run: (*pass).emitConflicts},
+	{ID: "ECL011", Level: LevelKernel, Severity: SeverityWarning, Doc: "unreachable code after a statement that never terminates (halt, non-exiting loop)", run: (*pass).deadCode},
+	{ID: "ECL012", Level: LevelKernel, Severity: SeverityWarning, Doc: "data branch condition is compile-time constant", run: (*pass).constBranches},
+	{ID: "ECL020", Level: LevelEFSM, Severity: SeverityWarning, Doc: "state reachable only through transitions with unsatisfiable guards (syntactic; value-refuted states are ECL034)", run: (*pass).unreachableStates},
+	{ID: "ECL021", Level: LevelEFSM, Severity: SeverityWarning, Doc: "transition guard is unsatisfiable (contradictory data conditions; value-refuted guards are ECL033)", run: (*pass).deadTransitions},
+	{ID: "ECL022", Level: LevelEFSM, Severity: SeverityWarning, Doc: "input signal never tested or read by any reachable transition", run: (*pass).idleInputs},
+	{ID: "ECL023", Level: LevelEFSM, Severity: SeverityWarning, Doc: "output signal never emitted by any reachable transition", run: (*pass).idleOutputs},
+	{ID: "ECL030", Level: LevelValue, Severity: SeverityError, Doc: "division or modulo whose divisor is provably always zero (guaranteed runtime trap)", run: (*pass).divByZero},
+	{ID: "ECL031", Level: LevelValue, Severity: SeverityError, Doc: "shift count provably outside 0..31 before the runtime's &31 mask", run: (*pass).shiftRange},
+	{ID: "ECL032", Level: LevelValue, Severity: SeverityError, Doc: "signed arithmetic whose exact result provably never fits int32 (certain silent wrap)", run: (*pass).certainWrap},
+	{ID: "ECL033", Level: LevelValue, Severity: SeverityError, Doc: "transition guard condition refuted by interval analysis (the transition can never fire)", run: (*pass).refutedTransitions},
+	{ID: "ECL034", Level: LevelValue, Severity: SeverityError, Doc: "state no value-consistent execution can enter (per-transition satisfiability says reachable, intervals refute it)", run: (*pass).valueUnreachableStates},
+	{ID: "ECL035", Level: LevelValue, Severity: SeverityError, Doc: "dead store: variable written then rewritten with no read on any feasible path", run: (*pass).deadStores},
+	{ID: "ECL040", Level: LevelDesign, Severity: SeverityWarning, Doc: "signal read or tested across modules but emitted by no module in the design", runFile: (*filePass).undrivenSignals},
+	{ID: "ECL041", Level: LevelDesign, Severity: SeverityWarning, Doc: "signal emitted across modules but read by no module in the design", runFile: (*filePass).unobservedSignals},
 }
 
 // Rules returns the shipped rule table, in report order.
@@ -127,7 +162,7 @@ func RuleIDs() []string {
 func KeySalt() string {
 	s := fmt.Sprintf("ecl-analyze:v%d", rulesVersion)
 	for _, r := range rules {
-		s += ":" + r.ID
+		s += ":" + r.ID + "=" + r.Severity
 	}
 	return s
 }
@@ -138,11 +173,33 @@ func KeySalt() string {
 func Analyze(d *core.Design) []Finding {
 	p := &pass{design: d, module: d.Lowered.Module.Name}
 	for _, r := range rules {
+		if r.run == nil {
+			continue // design-level rule: runs through AnalyzeFile
+		}
 		p.rule = r
 		r.run(p)
 	}
 	Sort(p.findings)
 	return p.findings
+}
+
+// AnalyzeFile runs the design-level (per-file) rules over a file's
+// semantic tables and returns the findings sorted. Batch drivers call
+// this once per shared compilation unit, not once per module.
+func AnalyzeFile(info *sem.Info) []Finding {
+	if info == nil {
+		return nil
+	}
+	fp := &filePass{info: info}
+	for _, r := range rules {
+		if r.runFile == nil {
+			continue
+		}
+		fp.rule = r
+		r.runFile(fp)
+	}
+	Sort(fp.findings)
+	return fp.findings
 }
 
 // Filter keeps only findings whose rule ID is in keep (nil keeps
@@ -158,6 +215,21 @@ func Filter(fs []Finding, keep []string) []Finding {
 	out := fs[:0:0]
 	for _, f := range fs {
 		if want[f.Rule] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FilterSeverity keeps only findings with the given severity (""
+// keeps everything).
+func FilterSeverity(fs []Finding, severity string) []Finding {
+	if severity == "" {
+		return fs
+	}
+	out := fs[:0:0]
+	for _, f := range fs {
+		if f.Severity == severity {
 			out = append(out, f)
 		}
 	}
@@ -218,9 +290,13 @@ type pass struct {
 
 // report records one finding for the current rule.
 func (p *pass) report(pos source.Pos, format string, args ...interface{}) {
+	sev := p.rule.Severity
+	if sev == "" {
+		sev = SeverityWarning
+	}
 	f := Finding{
 		Rule:     p.rule.ID,
-		Severity: "warning",
+		Severity: sev,
 		Module:   p.module,
 		Message:  fmt.Sprintf(format, args...),
 	}

@@ -112,8 +112,11 @@ func TestVetGoldens(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
+			fs := Analyze(d)
+			fs = append(fs, AnalyzeFile(prog.Info)...)
+			Sort(fs)
 			var b strings.Builder
-			for _, f := range Analyze(d) {
+			for _, f := range fs {
 				b.WriteString(f.String())
 				b.WriteByte('\n')
 			}
@@ -143,6 +146,34 @@ func TestVetGoldens(t *testing.T) {
 				t.Errorf("seed %s did not trigger %s:\n%s", name, rule, got)
 			}
 		})
+	}
+}
+
+// TestValuePrecisionRegression pins the precision upgrade of the value
+// rules over the syntactic EFSM rules: on a design whose guards are
+// individually satisfiable (so per-transition satisfiability calls
+// every state reachable) but refuted by interval analysis, ECL033 and
+// ECL034 must fire while ECL020 and ECL021 stay silent — before the
+// value rules landed, this design analyzed clean.
+func TestValuePrecisionRegression(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "vet", "ecl034_value_unreachable.ecl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := compileModule(t, "prec.ecl", string(src), "m")
+	fired := map[string]bool{}
+	for _, f := range Analyze(d) {
+		fired[f.Rule] = true
+	}
+	for _, want := range []string{"ECL033", "ECL034"} {
+		if !fired[want] {
+			t.Errorf("value rule %s did not fire", want)
+		}
+	}
+	for _, silent := range []string{"ECL020", "ECL021"} {
+		if fired[silent] {
+			t.Errorf("syntactic rule %s fired on a value-only refutation", silent)
+		}
 	}
 }
 
@@ -193,9 +224,20 @@ func TestRuleTable(t *testing.T) {
 			t.Errorf("rule %s has no doc", r.ID)
 		}
 		switch r.Level {
-		case LevelSem, LevelKernel, LevelEFSM:
+		case LevelSem, LevelKernel, LevelEFSM, LevelValue, LevelDesign:
 		default:
 			t.Errorf("rule %s has unknown level %q", r.ID, r.Level)
+		}
+		switch r.Severity {
+		case SeverityError, SeverityWarning:
+		default:
+			t.Errorf("rule %s has unknown severity %q", r.ID, r.Severity)
+		}
+		if (r.run == nil) == (r.runFile == nil) {
+			t.Errorf("rule %s must have exactly one of run/runFile", r.ID)
+		}
+		if r.Level == LevelDesign != (r.runFile != nil) {
+			t.Errorf("rule %s: design level and runFile must coincide", r.ID)
 		}
 	}
 	if len(RuleIDs()) != len(Rules()) {

@@ -1,0 +1,358 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// The design-level rules (ECL040/ECL041) look at a whole file's module
+// interfaces at once: instantiation wiring connects each actual signal
+// to the formal parameter it drives, so "is this signal ever emitted /
+// ever read" becomes a question about the connected component, not one
+// module. They run once per file through AnalyzeFile — batch `eclvet
+// -all` analyzes interfaces once per shared compilation unit.
+
+// filePass carries one AnalyzeFile run's state.
+type filePass struct {
+	info     *sem.Info
+	rule     Rule
+	findings []Finding
+
+	facts *designFacts
+}
+
+// report records one finding for the current design-level rule.
+func (fp *filePass) report(pos source.Pos, module string, format string, args ...interface{}) {
+	sev := fp.rule.Severity
+	if sev == "" {
+		sev = SeverityWarning
+	}
+	f := Finding{
+		Rule:     fp.rule.ID,
+		Severity: sev,
+		Module:   module,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if pos.IsValid() {
+		f.File = pos.File.Name
+		f.Line = pos.Line()
+		f.Col = pos.Column()
+	}
+	fp.findings = append(fp.findings, f)
+}
+
+// sigNode is one module's view of a signal (parameter or local) in the
+// design connection graph.
+type sigNode struct {
+	si     *sem.SignalInfo
+	mod    *sem.ModuleInfo
+	pos    source.Pos
+	driven bool // some module emits it (or the environment drives it)
+	read   bool // some module tests/reads it (or the environment observes it)
+	parent *sigNode
+	order  int
+}
+
+func (n *sigNode) find() *sigNode {
+	for n.parent != n {
+		n.parent = n.parent.parent
+		n = n.parent
+	}
+	return n
+}
+
+func union(a, b *sigNode) {
+	ra, rb := a.find(), b.find()
+	if ra == rb {
+		return
+	}
+	if rb.order < ra.order {
+		ra, rb = rb, ra
+	}
+	rb.parent = ra
+	ra.driven = ra.driven || rb.driven
+	ra.read = ra.read || rb.read
+}
+
+// designFacts is the solved connection graph of one file.
+type designFacts struct {
+	nodes   []*sigNode // stable (module, declaration) order
+	byInfo  map[*sem.SignalInfo]*sigNode
+	modules []*sem.ModuleInfo // name order
+}
+
+func (fp *filePass) designFacts() *designFacts {
+	if fp.facts != nil {
+		return fp.facts
+	}
+	df := &designFacts{byInfo: make(map[*sem.SignalInfo]*sigNode)}
+	fp.facts = df
+	info := fp.info
+	var names []string
+	for name := range info.Modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	instantiated := make(map[string]bool)
+	for _, name := range names {
+		mi := info.Modules[name]
+		if mi == nil || mi.Decl == nil {
+			continue
+		}
+		df.modules = append(df.modules, mi)
+		for _, other := range mi.Instantiates {
+			instantiated[other] = true
+		}
+	}
+	// Nodes: every parameter and local of every module.
+	for _, mi := range df.modules {
+		for _, si := range mi.Params {
+			df.addNode(si, mi, paramPos(mi, si.Name))
+		}
+		for _, si := range mi.Locals {
+			df.addNode(si, mi, localPos(mi, si.Name))
+		}
+	}
+	// Per-module usage: emits drive, everything else observed; the
+	// identifiers consumed by instantiation wiring are neither.
+	for _, mi := range df.modules {
+		fp.markUsage(mi)
+	}
+	// Instantiation wiring: union each plain-ident actual with the
+	// formal it binds; computed actuals conservatively satisfy the
+	// formal both ways.
+	for _, mi := range df.modules {
+		fp.wireInstantiations(mi)
+	}
+	// Root modules (instantiated nowhere in the file) face the
+	// environment: inputs arrive driven, outputs are observed.
+	for _, mi := range df.modules {
+		if instantiated[mi.Name] {
+			continue
+		}
+		for _, si := range mi.Params {
+			n := df.byInfo[si].find()
+			if si.Dir == ast.In {
+				n.driven = true
+			} else {
+				n.read = true
+			}
+		}
+	}
+	return df
+}
+
+func (df *designFacts) addNode(si *sem.SignalInfo, mi *sem.ModuleInfo, pos source.Pos) {
+	if _, ok := df.byInfo[si]; ok {
+		return
+	}
+	n := &sigNode{si: si, mod: mi, pos: pos, order: len(df.nodes)}
+	n.parent = n
+	df.nodes = append(df.nodes, n)
+	df.byInfo[si] = n
+}
+
+// markUsage classifies every signal identifier in a module body as
+// driving (emit target) or observed (anything else), skipping the
+// identifiers that belong to instantiation wiring.
+func (fp *filePass) markUsage(mi *sem.ModuleInfo) {
+	df := fp.facts
+	info := fp.info
+	skip := make(map[*ast.Ident]bool)
+	walkStmt(mi.Decl.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.Emit:
+			if n.Signal != nil {
+				skip[n.Signal] = true
+			}
+		case *ast.Call:
+			if info.IsInst[n] {
+				skip[n.Fun] = true
+				for _, arg := range n.Args {
+					if id, ok := plainIdent(arg); ok {
+						skip[id] = true
+					}
+				}
+			}
+		}
+	})
+	walkStmt(mi.Decl.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.Emit:
+			if n.Signal == nil {
+				return
+			}
+			if si, ok := info.UseOf(n.Signal).(*sem.SignalInfo); ok {
+				if nd := df.byInfo[si]; nd != nil {
+					nd.find().driven = true
+				}
+			}
+		case *ast.Ident:
+			if skip[n] {
+				return
+			}
+			if si, ok := info.UseOf(n).(*sem.SignalInfo); ok {
+				if nd := df.byInfo[si]; nd != nil {
+					nd.find().read = true
+				}
+			}
+		}
+	})
+}
+
+func (fp *filePass) wireInstantiations(mi *sem.ModuleInfo) {
+	df := fp.facts
+	info := fp.info
+	walkStmt(mi.Decl.Body, func(n ast.Node) {
+		call, ok := n.(*ast.Call)
+		if !ok || !info.IsInst[call] {
+			return
+		}
+		callee := info.Modules[call.Fun.Name]
+		if callee == nil {
+			return
+		}
+		for i, arg := range call.Args {
+			if i >= len(callee.Params) {
+				break
+			}
+			formal := df.byInfo[callee.Params[i]]
+			if formal == nil {
+				continue
+			}
+			if id, ok := plainIdent(arg); ok {
+				if si, ok := info.UseOf(id).(*sem.SignalInfo); ok {
+					if actual := df.byInfo[si]; actual != nil {
+						union(actual, formal)
+						continue
+					}
+				}
+			}
+			// Computed actual: can't track, assume fully used.
+			fr := formal.find()
+			fr.driven = true
+			fr.read = true
+		}
+	})
+}
+
+func plainIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	return id, ok
+}
+
+func paramPos(mi *sem.ModuleInfo, name string) source.Pos {
+	for _, sp := range mi.Decl.Params {
+		if sp.Name == name {
+			return sp.DirPos
+		}
+	}
+	return mi.Decl.Pos()
+}
+
+func localPos(mi *sem.ModuleInfo, name string) source.Pos {
+	pos := mi.Decl.Pos()
+	walkStmt(mi.Decl.Body, func(n ast.Node) {
+		if sd, ok := n.(*ast.SignalDecl); ok && sd.Name == name && pos == mi.Decl.Pos() {
+			pos = sd.Pos()
+		}
+	})
+	return pos
+}
+
+// classes groups the connection graph into components, each
+// represented by its first-declared member, in stable order.
+func (df *designFacts) classes() [][]*sigNode {
+	byRoot := make(map[*sigNode][]*sigNode)
+	var roots []*sigNode
+	for _, n := range df.nodes {
+		r := n.find()
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], n)
+	}
+	out := make([][]*sigNode, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// spansModules reports whether the component touches at least two
+// distinct modules; single-module signals are ECL001/ECL004's
+// territory and are not re-reported here.
+func spansModules(class []*sigNode) bool {
+	var first *sem.ModuleInfo
+	for _, n := range class {
+		if first == nil {
+			first = n.mod
+		} else if n.mod != first {
+			return true
+		}
+	}
+	return false
+}
+
+// anchor is the component member to report on: the first-declared one.
+func anchor(class []*sigNode) *sigNode {
+	best := class[0]
+	for _, n := range class[1:] {
+		if n.order < best.order {
+			best = n
+		}
+	}
+	return best
+}
+
+// undrivenSignals is ECL040: a signal wired across modules that
+// somebody tests or reads but no module in the design ever emits (and
+// the environment cannot drive: it is not a root input).
+func (fp *filePass) undrivenSignals() {
+	df := fp.designFacts()
+	for _, class := range df.classes() {
+		r := class[0].find()
+		if r.driven || !r.read || !spansModules(class) {
+			continue
+		}
+		a := anchor(class)
+		fp.report(a.pos, a.mod.Name,
+			"signal %q is read or tested across %d modules but no module in the design ever emits it",
+			a.si.Name, countModules(class))
+	}
+}
+
+// unobservedSignals is ECL041: a signal wired across modules that
+// somebody emits but nobody — module or environment — ever reads.
+func (fp *filePass) unobservedSignals() {
+	df := fp.designFacts()
+	for _, class := range df.classes() {
+		r := class[0].find()
+		if r.read || !r.driven || !spansModules(class) {
+			continue
+		}
+		a := anchor(class)
+		fp.report(a.pos, a.mod.Name,
+			"signal %q is emitted across %d modules but no module in the design ever reads it",
+			a.si.Name, countModules(class))
+	}
+}
+
+func countModules(class []*sigNode) int {
+	seen := make(map[*sem.ModuleInfo]bool)
+	for _, n := range class {
+		seen[n.mod] = true
+	}
+	return len(seen)
+}

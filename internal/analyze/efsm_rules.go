@@ -3,6 +3,7 @@ package analyze
 import (
 	"fmt"
 
+	"repro/internal/analyze/absint"
 	"repro/internal/ast"
 	"repro/internal/efsm"
 	"repro/internal/kernel"
@@ -24,9 +25,15 @@ type efsmFacts struct {
 	m *efsm.Machine
 	// trans caches Transitions per state (flattening is O(paths)).
 	trans map[*efsm.State][]*efsm.Transition
-	// reachable holds states enterable from Initial via satisfiable
-	// transitions.
+	// synReach holds states enterable from Initial via transitions the
+	// per-transition syntactic check (unsatCond) cannot refute.
+	synReach map[*efsm.State]bool
+	// reachable holds states some value-consistent execution enters —
+	// the abstract interpreter's reachability, always a subset of
+	// synReach. Signal-usage facts and the value rules use this.
 	reachable map[*efsm.State]bool
+	// abs is the converged abstract interpretation of the machine.
+	abs *absint.Result
 	// tested, referenced, emitted summarize signal usage over the
 	// transitions of reachable states: presence-tested by an input
 	// branch, value-read by a condition/action/data function, emitted
@@ -48,7 +55,7 @@ func (p *pass) efsmFacts() *efsmFacts {
 	f := &efsmFacts{
 		m:          m,
 		trans:      make(map[*efsm.State][]*efsm.Transition),
-		reachable:  make(map[*efsm.State]bool),
+		synReach:   make(map[*efsm.State]bool),
 		tested:     make(map[*kernel.Signal]bool),
 		referenced: make(map[*kernel.Signal]bool),
 		emitted:    make(map[*kernel.Signal]bool),
@@ -56,23 +63,32 @@ func (p *pass) efsmFacts() *efsmFacts {
 	for _, s := range m.States {
 		f.trans[s] = m.Transitions(s)
 	}
-	// BFS from the initial state over satisfiable transitions.
+	// BFS from the initial state over syntactically satisfiable
+	// transitions (the pre-value-analysis notion of reachability).
 	var queue []*efsm.State
 	if m.Initial != nil {
-		f.reachable[m.Initial] = true
+		f.synReach[m.Initial] = true
 		queue = append(queue, m.Initial)
 	}
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
 		for _, t := range f.trans[s] {
-			if t.To == nil || f.reachable[t.To] || unsatCond(t) >= 0 {
+			if t.To == nil || f.synReach[t.To] || unsatCond(t) >= 0 {
 				continue
 			}
-			f.reachable[t.To] = true
+			f.synReach[t.To] = true
 			queue = append(queue, t.To)
 		}
 	}
+	// Value-aware reachability: the abstract interpreter walks the
+	// decision trees with interval stores; syntactically refuted paths
+	// are pruned so their refutations stay attributed to ECL021.
+	f.abs = absint.Analyze(m, func(s *efsm.State, leaf int) bool {
+		ts := f.trans[s]
+		return leaf < len(ts) && unsatCond(ts[leaf]) >= 0
+	})
+	f.reachable = f.abs.Reachable
 	// Signal usage over reachable states.
 	for _, s := range m.States {
 		if !f.reachable[s] {
@@ -186,13 +202,15 @@ func unsatCond(t *efsm.Transition) int {
 
 // unreachableStates is ECL020: a state the machine cannot enter — every
 // path to it from the initial state crosses an unsatisfiable guard.
+// States only the value analysis can refute are ECL034's, not ours:
+// the more precise rule wins and the pair never double-reports.
 func (p *pass) unreachableStates() {
 	f := p.efsmFacts()
 	if f == nil {
 		return
 	}
 	for _, s := range f.m.States {
-		if f.reachable[s] {
+		if f.synReach[s] {
 			continue
 		}
 		p.report(p.modulePos(), "state s%d is unreachable: every path to it has an unsatisfiable guard", s.ID)

@@ -1,0 +1,11 @@
+/* ECL030: the divisor is zero-initialized and never written, so the
+ * interval analysis proves every execution of the division traps. */
+module m (input pure t, input int x, output int o)
+{
+    int d;
+    d = 0;
+    while (1) {
+        await (t);
+        emit_v (o, x / d);
+    }
+}

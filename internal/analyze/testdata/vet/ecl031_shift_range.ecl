@@ -1,0 +1,11 @@
+/* ECL031: the shift count is provably 35, outside 0..31 — the runtime
+ * masks it with &31, silently shifting by 3 instead. */
+module m (input pure t, input int x, output int o)
+{
+    int s;
+    s = 35;
+    while (1) {
+        await (t);
+        emit_v (o, x << s);
+    }
+}

@@ -1,0 +1,13 @@
+/* ECL032: 2000000000 + 2000000000 never fits int32, so the signed
+ * addition wraps on every execution. */
+module m (input pure t, output int o)
+{
+    int a;
+    int b;
+    a = 2000000000;
+    while (1) {
+        await (t);
+        b = a + a;
+        emit_v (o, b);
+    }
+}

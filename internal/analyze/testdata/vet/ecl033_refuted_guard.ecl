@@ -1,0 +1,16 @@
+/* ECL033: k only ever holds 2 or 3, so the guard `k > 10` is refuted
+ * by interval analysis — per-transition satisfiability alone cannot
+ * see this (the guard is not self-contradictory). */
+module m (input pure t, output int o)
+{
+    int k;
+    k = 3;
+    while (1) {
+        await (t);
+        if (k > 10) {
+            emit_v (o, k);
+        } else {
+            k = 2;
+        }
+    }
+}

@@ -1,0 +1,19 @@
+/* ECL034: the await inside the `k > 10` branch compiles to a state of
+ * its own; every path into it crosses a guard the intervals refute
+ * (k is always 2 or 3), so no value-consistent run can enter it. The
+ * refuted transition itself is the companion ECL033 finding. */
+module m (input pure t, output pure o)
+{
+    int k;
+    k = 3;
+    while (1) {
+        await (t);
+        if (k > 10) {
+            await (t);
+            emit (o);
+        } else {
+            k = 2;
+            emit (o);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+/* ECL035: the first assignment to d is overwritten by the second on
+ * every feasible path before anything reads it. */
+module m (input pure t, input int x, output int o)
+{
+    int d;
+    while (1) {
+        await (t);
+        d = x;
+        d = x + 1;
+        emit_v (o, d);
+    }
+}

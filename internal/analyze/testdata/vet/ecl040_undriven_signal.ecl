@@ -1,0 +1,16 @@
+/* ECL040: the local signal w is wired into helper, which reads its
+ * value, but no module in the design ever emits it — the design-level
+ * pass follows the instantiation wiring across both modules. */
+module helper (input pure t, input int w, output int o)
+{
+    while (1) {
+        await (t);
+        emit_v (o, w + 1);
+    }
+}
+
+module top (input pure t, output int o)
+{
+    signal int w;
+    helper (t, w, o);
+}

@@ -1,0 +1,21 @@
+/* ECL041: helper emits w every instant, but no module in the design
+ * (and no environment port) ever reads or tests it. */
+module helper (input pure t, output int w)
+{
+    while (1) {
+        await (t);
+        emit_v (w, 1);
+    }
+}
+
+module top (input pure t, output pure d)
+{
+    signal int w;
+    par {
+        helper (t, w);
+        while (1) {
+            await (t);
+            emit (d);
+        }
+    }
+}

@@ -1,0 +1,509 @@
+package analyze
+
+import (
+	"repro/internal/analyze/absint"
+	"repro/internal/ast"
+	"repro/internal/efsm"
+	"repro/internal/kernel"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// The value-flow rules (ECL030–ECL035) read the abstract interpreter's
+// converged result (efsmFacts.abs). Everything they report is a
+// certainty — a fact that holds on every concrete run — so their
+// severity is "error" while the syntactic rules stay warnings.
+
+// divByZero is ECL030: an integer division or modulo whose divisor the
+// intervals prove is always zero. The concrete machine is guaranteed
+// to trap here (see the soundness test: every flagged program really
+// errors when stepped in the interp backend).
+func (p *pass) divByZero() {
+	p.trapRule(absint.TrapDivZero, "division by zero is guaranteed here: %s in %q")
+}
+
+// shiftRange is ECL031: a shift whose count is provably outside 0..31.
+// The runtime masks the count with &31 and carries on, so this is
+// silent data corruption, not a trap — but it is certain.
+func (p *pass) shiftRange() {
+	p.trapRule(absint.TrapShift, "shift count is always out of range (0..31): %s in %q")
+}
+
+// certainWrap is ECL032: signed +, -, *, or / whose exact result
+// provably never fits int32. Unsigned arithmetic and shifts wrap by
+// design and are never flagged.
+func (p *pass) certainWrap() {
+	p.trapRule(absint.TrapWrap, "signed arithmetic always overflows int32: %s in %q")
+}
+
+func (p *pass) trapRule(kind absint.TrapKind, format string) {
+	f := p.efsmFacts()
+	if f == nil || f.abs == nil {
+		return
+	}
+	for _, t := range f.abs.Traps {
+		if t.Kind != kind {
+			continue
+		}
+		pos := t.Pos
+		if !pos.IsValid() {
+			pos = p.modulePos()
+		}
+		p.report(pos, format, t.Detail, ast.ExprString(t.Expr))
+	}
+}
+
+// refutedTransitions is ECL033: a guard condition on a transition of a
+// reachable state that interval analysis proves can never have the
+// required outcome — the transition can never fire. Strictly stronger
+// than ECL021: syntactically refuted paths are pruned before the value
+// analysis, so the two rules partition the dead transitions and never
+// double-report.
+//
+// Only refutations of a path's first data condition are reported: those
+// are forced by value facts flowing in from previous instants (the
+// state's entry store and the reaction's own actions), which is the
+// cross-instant precision this rule adds. A later condition
+// contradicting an earlier one on the same path is an artifact of the
+// decision-tree expansion (an if/else-if cascade flattens into paths
+// that test the same value with contradictory outcomes and are simply
+// never walked) and stays unreported, like ECL021's conservative
+// handling of the same shape.
+func (p *pass) refutedTransitions() {
+	f := p.efsmFacts()
+	if f == nil || f.abs == nil {
+		return
+	}
+	type key struct {
+		state int
+		pos   source.Pos
+		want  bool
+	}
+	seen := make(map[key]bool)
+	for _, s := range f.m.States {
+		paths := f.abs.Paths[s]
+		ts := f.trans[s]
+		for i, pf := range paths {
+			if pf.RefIndex != 0 || pf.Pruned || i >= len(ts) {
+				continue
+			}
+			t := ts[i]
+			if pf.RefIndex >= len(t.Data) {
+				continue
+			}
+			dc := t.Data[pf.RefIndex]
+			pos := source.Pos{}
+			if pf.RefExpr != nil {
+				pos = pf.RefExpr.Pos()
+			}
+			k := key{s.ID, pos, dc.Want}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !pos.IsValid() {
+				pos = p.modulePos()
+			}
+			outcome := "false"
+			if !dc.Want {
+				outcome = "true"
+			}
+			p.report(pos, "transition from state s%d can never fire: value analysis proves %q is always %s here (guard %q)",
+				s.ID, ast.ExprString(pf.RefExpr), outcome, t.GuardString())
+		}
+	}
+}
+
+// valueUnreachableStates is ECL034: a state per-transition
+// satisfiability calls reachable but no value-consistent execution can
+// enter. Strictly stronger than ECL020 (which keeps the states every
+// path to which is syntactically refuted); the pair never
+// double-reports.
+func (p *pass) valueUnreachableStates() {
+	f := p.efsmFacts()
+	if f == nil || f.abs == nil {
+		return
+	}
+	for _, s := range f.m.States {
+		if !f.synReach[s] || f.reachable[s] {
+			continue
+		}
+		p.report(p.modulePos(), "state s%d is unreachable: value analysis refutes every path into it", s.ID)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ECL035: dead stores
+
+// storeEv is one variable access event on a transition path, in
+// execution order.
+type storeEv struct {
+	read    *kernel.Var // non-nil: reads this variable
+	readAll bool        // opaque code (C call): may read anything
+	kill    *kernel.Var // non-nil: overwrites this variable whole
+	pos     source.Pos  // kill site (the assignment)
+	name    string      // source-level variable name at the kill
+	report  bool        // kill is a user-written store (not a decl init)
+}
+
+// pathEvs is the event list of one root-to-leaf path, aligned with
+// efsm.Machine.Transitions order.
+type pathEvs struct {
+	evs []storeEv
+	to  *efsm.State // nil: the machine stops after this reaction
+}
+
+// deadStores is ECL035: a variable assigned and then assigned again
+// with no feasible read in between — on every feasible continuation
+// the first store's value is overwritten unread. Reads through calls
+// are conservative (a call may read anything), aggregates and frame
+// locals are skipped, and synthesized declaration initializers are
+// never themselves flagged.
+func (p *pass) deadStores() {
+	f := p.efsmFacts()
+	if f == nil || f.abs == nil {
+		return
+	}
+	// Collect per-state, per-feasible-path event lists.
+	evs := make(map[*efsm.State][]pathEvs)
+	candidates := make(map[*kernel.Var]bool)
+	for _, s := range f.m.States {
+		if !f.reachable[s] {
+			continue
+		}
+		c := &evCollector{info: f.m.Info}
+		c.walk(s.Root, nil)
+		facts := f.abs.Paths[s]
+		var keep []pathEvs
+		for i, pe := range c.paths {
+			if i < len(facts) && !facts[i].Feasible {
+				continue
+			}
+			keep = append(keep, pe)
+			for _, ev := range pe.evs {
+				if ev.kill != nil && ev.report {
+					candidates[ev.kill] = true
+				}
+			}
+		}
+		evs[s] = keep
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	// liveIn[s][v]: some feasible execution from state s reads v before
+	// overwriting it. Least fixpoint (monotone: live only grows).
+	liveIn := make(map[*efsm.State]map[*kernel.Var]bool)
+	for s := range evs {
+		liveIn[s] = make(map[*kernel.Var]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for s, paths := range evs {
+			for v := range candidates {
+				if liveIn[s][v] {
+					continue
+				}
+				for _, pe := range paths {
+					if pathReadsFirst(pe, v, liveIn) {
+						liveIn[s][v] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	// canKill[s][v]: some feasible execution from state s overwrites v
+	// before reading it. Least fixpoint, mirroring liveIn.
+	canKill := make(map[*efsm.State]map[*kernel.Var]bool)
+	for s := range evs {
+		canKill[s] = make(map[*kernel.Var]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for s, paths := range evs {
+			for v := range candidates {
+				if canKill[s][v] {
+					continue
+				}
+				for _, pe := range paths {
+					if pathKillsFirst(pe, v, canKill) {
+						canKill[s][v] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	// A kill is dead on one path when the continuation kills again (or
+	// stops) before any read. Report a store only if every feasible
+	// occurrence is dead AND some occurrence is actually rewritten
+	// downstream ("written then rewritten" — a store the machine merely
+	// halts after is not flagged).
+	type agg struct {
+		name      string
+		dead      bool
+		rewritten bool
+	}
+	sites := make(map[source.Pos]*agg)
+	var order []source.Pos
+	for _, paths := range evs {
+		for _, pe := range paths {
+			for i, ev := range pe.evs {
+				if ev.kill == nil || !ev.report {
+					continue
+				}
+				a := sites[ev.pos]
+				if a == nil {
+					a = &agg{name: ev.name, dead: true}
+					sites[ev.pos] = a
+					order = append(order, ev.pos)
+				}
+				if !killIsDead(pe, i, liveIn) {
+					a.dead = false
+				}
+				if killIsRewritten(pe, i, canKill) {
+					a.rewritten = true
+				}
+			}
+		}
+	}
+	for _, pos := range order {
+		a := sites[pos]
+		if !a.dead || !a.rewritten {
+			continue
+		}
+		p.report(pos, "dead store: the value assigned to %q here is overwritten on every feasible path before being read", a.name)
+	}
+}
+
+// pathReadsFirst reports whether path pe reads v before killing it,
+// either directly or through its successor's liveness.
+func pathReadsFirst(pe pathEvs, v *kernel.Var, liveIn map[*efsm.State]map[*kernel.Var]bool) bool {
+	for _, ev := range pe.evs {
+		if ev.readAll || ev.read == v {
+			return true
+		}
+		if ev.kill == v {
+			return false
+		}
+	}
+	if pe.to == nil {
+		return false
+	}
+	return liveIn[pe.to][v]
+}
+
+// killIsDead reports whether the kill at index i of path pe is
+// overwritten (or the machine stops) before any read of the variable.
+func killIsDead(pe pathEvs, i int, liveIn map[*efsm.State]map[*kernel.Var]bool) bool {
+	v := pe.evs[i].kill
+	for _, ev := range pe.evs[i+1:] {
+		if ev.readAll || ev.read == v {
+			return false
+		}
+		if ev.kill == v {
+			return true
+		}
+	}
+	if pe.to == nil {
+		return true
+	}
+	return !liveIn[pe.to][v]
+}
+
+// pathKillsFirst reports whether path pe overwrites v before reading
+// it, directly or through its successor.
+func pathKillsFirst(pe pathEvs, v *kernel.Var, canKill map[*efsm.State]map[*kernel.Var]bool) bool {
+	for _, ev := range pe.evs {
+		if ev.kill == v {
+			return true
+		}
+		if ev.readAll || ev.read == v {
+			return false
+		}
+	}
+	if pe.to == nil {
+		return false
+	}
+	return canKill[pe.to][v]
+}
+
+// killIsRewritten reports whether some feasible continuation of the
+// kill at index i actually overwrites the variable (rather than the
+// machine just stopping).
+func killIsRewritten(pe pathEvs, i int, canKill map[*efsm.State]map[*kernel.Var]bool) bool {
+	v := pe.evs[i].kill
+	for _, ev := range pe.evs[i+1:] {
+		if ev.kill == v {
+			return true
+		}
+		if ev.readAll || ev.read == v {
+			return false
+		}
+	}
+	if pe.to == nil {
+		return false
+	}
+	return canKill[pe.to][v]
+}
+
+// evCollector walks a state's decision tree accumulating per-path
+// variable access events, leaf order matching Transitions.
+type evCollector struct {
+	info  *sem.Info
+	paths []pathEvs
+}
+
+func (c *evCollector) walk(n efsm.Node, evs []storeEv) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *efsm.ActNode:
+		evs = c.action(n.Act, evs)
+		c.walk(n.Next, evs)
+	case *efsm.InputBranch:
+		c.walk(n.Then, evs)
+		c.walk(n.Else, evs)
+	case *efsm.DataBranch:
+		evs = c.expr(n.Expr.B, n.Expr.E, evs)
+		c.walk(n.Then, evs)
+		c.walk(n.Else, evs)
+	case *efsm.Leaf:
+		// Copy: sibling paths share the prefix backing array.
+		c.paths = append(c.paths, pathEvs{evs: append([]storeEv(nil), evs...), to: n.To})
+	}
+}
+
+func (c *evCollector) action(a efsm.Action, evs []storeEv) []storeEv {
+	switch a.Kind {
+	case efsm.ActEmit:
+		if a.Value != nil {
+			evs = c.expr(a.Value.B, a.Value.E, evs)
+		}
+	case efsm.ActAssign:
+		evs = c.assign(a.LHS.B, a.LHS.E, a.RHS.E, evs)
+	case efsm.ActEval:
+		evs = c.expr(a.X.B, a.X.E, evs)
+	case efsm.ActCall:
+		if a.F != nil {
+			for _, st := range a.F.Body {
+				evs = c.stmt(a.F.B, st, evs)
+			}
+		}
+	}
+	return evs
+}
+
+// assign handles "lhs = rhs": rhs (and any lhs subscripts) read first,
+// then a plain whole-variable lhs kills. A synthesized declaration
+// initializer (lowering rewrites "int x = e;" into an assignment whose
+// LHS ident sits exactly at the declaration) kills without being a
+// reportable store.
+func (c *evCollector) assign(b *kernel.Binding, lhs, rhs ast.Expr, evs []storeEv) []storeEv {
+	evs = c.expr(b, rhs, evs)
+	for {
+		pp, ok := lhs.(*ast.Paren)
+		if !ok {
+			break
+		}
+		lhs = pp.X
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return c.expr(b, lhs, evs) // aggregate element: treat as read
+	}
+	vi, ok := c.info.UseOf(id).(*sem.VarInfo)
+	if !ok {
+		return evs
+	}
+	kv := b.Vars[vi]
+	if kv == nil {
+		return evs
+	}
+	report := true
+	if vi.Decl != nil && id.Pos() == vi.Decl.Pos() {
+		report = false // decl initializer, not a user store
+	}
+	return append(evs, storeEv{kill: kv, pos: id.Pos(), name: id.Name, report: report})
+}
+
+// stmt collects events from extracted data-function statements. Only
+// straight-line assignment statements kill; anything branchy degrades
+// to reads (a branch that kills on one side only must not cancel a
+// prior store).
+func (c *evCollector) stmt(b *kernel.Binding, s ast.Stmt, evs []storeEv) []storeEv {
+	switch s := s.(type) {
+	case nil, *ast.Empty, *ast.Break, *ast.Continue:
+		return evs
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			evs = c.stmt(b, st, evs)
+		}
+		return evs
+	case *ast.VarDecl:
+		if s.Init == nil {
+			return evs
+		}
+		evs = c.expr(b, s.Init, evs)
+		if vi := c.info.VarOf[s]; vi != nil {
+			if kv := b.Vars[vi]; kv != nil {
+				// The declaration writes the slot but is not a user
+				// "store" to flag.
+				evs = append(evs, storeEv{kill: kv, pos: s.Pos(), name: s.Name})
+			}
+		}
+		return evs
+	case *ast.ExprStmt:
+		if as, ok := s.X.(*ast.Assign); ok && as.Op == token.ASSIGN {
+			return c.assign(b, as.LHS, as.RHS, evs)
+		}
+		return c.expr(b, s.X, evs)
+	case *ast.Return:
+		if s.X != nil {
+			evs = c.expr(b, s.X, evs)
+		}
+		return evs
+	}
+	// Branchy or opaque statement: every variable mentioned is a read,
+	// nothing kills.
+	walkStmt(s, func(n ast.Node) {
+		if id, ok := n.(*ast.Ident); ok {
+			evs = c.readIdent(b, id, evs)
+		}
+		if _, ok := n.(*ast.Call); ok {
+			evs = append(evs, storeEv{readAll: true})
+		}
+	})
+	return evs
+}
+
+// expr records every variable whose value e may read; embedded
+// assignments and increments count as reads (conservative: they never
+// cancel a prior store), and calls read everything.
+func (c *evCollector) expr(b *kernel.Binding, e ast.Expr, evs []storeEv) []storeEv {
+	if e == nil {
+		return evs
+	}
+	walkExpr(e, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.Ident:
+			evs = c.readIdent(b, n, evs)
+		case *ast.Call:
+			evs = append(evs, storeEv{readAll: true})
+		}
+	})
+	return evs
+}
+
+func (c *evCollector) readIdent(b *kernel.Binding, id *ast.Ident, evs []storeEv) []storeEv {
+	if vi, ok := c.info.UseOf(id).(*sem.VarInfo); ok {
+		if kv := b.Vars[vi]; kv != nil {
+			evs = append(evs, storeEv{read: kv})
+		}
+	}
+	return evs
+}

@@ -129,6 +129,12 @@ type Result struct {
 	// request set Analyze; non-nil but possibly empty when it ran).
 	Findings []analyze.Finding
 
+	// FileFindings holds the design-level diagnostics for the request's
+	// whole file (the analyze-file phase). Every module request of the
+	// same file carries the same findings; batch callers dedup before
+	// printing.
+	FileFindings []analyze.Finding
+
 	// Phases records how each pipeline phase was satisfied for this
 	// request. A request that ran the pipeline carries one entry per
 	// phase walked (parse ... emit); a request served entirely from
@@ -419,8 +425,9 @@ func (d *Driver) buildOne(req Request) Result {
 	}
 	res.Design = entry.design
 	if req.Analyze {
-		findings, ran := entry.analyzeFindings()
+		findings, fileFindings, ran := entry.analyzeFindings()
 		res.Findings = findings
+		res.FileFindings = fileFindings
 		if !built && ran {
 			// The entry was compiled by an earlier, analyze-less request;
 			// this one ran the rules over the memoized design just now.
@@ -557,6 +564,7 @@ func (d *Driver) compileEntry(entry *cacheEntry, req Request, src string) {
 	entry.module = pres.Module
 	entry.phases = pres.Phases
 	entry.findings = pres.Findings
+	entry.fileFindings = pres.FileFindings
 	if pres.Err != nil {
 		entry.err = pres.Err
 		entry.diags = toDiags(req.Path, pres.Module, diagPhase(pres.ErrPhase), pres.Err)
@@ -740,8 +748,9 @@ type cacheEntry struct {
 	// (analyzeOnce) when a later analyze request hits an entry compiled
 	// without it. nil means "not analyzed yet" (the pipeline normalizes
 	// an empty finding list to a non-nil slice).
-	analyzeOnce sync.Once
-	findings    []analyze.Finding
+	analyzeOnce  sync.Once
+	findings     []analyze.Finding
+	fileFindings []analyze.Finding
 
 	mu         sync.Mutex
 	diskModule string // resolved module name from a disk hit
@@ -779,7 +788,7 @@ func (e *cacheEntry) artifact(t Target, goPkg string) (string, error) {
 // building request did not ask for them. ran reports whether this call
 // performed the lazy analysis, as opposed to the findings having come
 // from the pipeline walk (or from a concurrent caller's run).
-func (e *cacheEntry) analyzeFindings() (findings []analyze.Finding, ran bool) {
+func (e *cacheEntry) analyzeFindings() (findings, fileFindings []analyze.Finding, ran bool) {
 	e.analyzeOnce.Do(func() {
 		if e.findings != nil || e.design == nil {
 			return
@@ -790,8 +799,13 @@ func (e *cacheEntry) analyzeFindings() (findings []analyze.Finding, ran bool) {
 			fs = []analyze.Finding{}
 		}
 		e.findings = fs
+		ffs := analyze.AnalyzeFile(e.design.Lowered.Info)
+		if ffs == nil {
+			ffs = []analyze.Finding{}
+		}
+		e.fileFindings = ffs
 	})
-	return e.findings, ran
+	return e.findings, e.fileFindings, ran
 }
 
 // replay serves a request purely from artifacts already in memory

@@ -1,0 +1,78 @@
+// Package vetcoverage is a meta-rule over the ECL analyzer's rule
+// registry: every shipped rule ID must have a seeded trigger program
+// and a golden finding file under internal/analyze/testdata/vet. The
+// convention is
+//
+//	ecl<NNN>_<slug>.ecl     — a program that triggers ECL<NNN>
+//	ecl<NNN>_<slug>.golden  — its complete expected finding set
+//
+// (TestVetGoldens additionally asserts the named rule actually appears
+// in the golden output.) A rule merged without its seeded pair is a
+// rule whose behavior nothing pins; this checker makes that a lint
+// failure, so the registry and the corpus can never drift apart.
+package vetcoverage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/analyze"
+)
+
+// Finding is one coverage violation.
+type Finding struct {
+	Rule string // analyzer rule ID, e.g. "ECL030"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("vetcoverage: %s: %s", f.Rule, f.Msg)
+}
+
+var seedName = regexp.MustCompile(`^ecl(\d{3})_[a-z0-9_]+\.ecl$`)
+
+// CheckDir audits one testdata/vet directory against the shipped rule
+// registry: every rule needs a trigger seed and its golden; every seed
+// must name a shipped rule and have its golden alongside.
+func CheckDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, id := range analyze.RuleIDs() {
+		known[id] = true
+	}
+	covered := make(map[string]bool)
+	var out []Finding
+	for _, e := range entries {
+		name := e.Name()
+		m := seedName.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		rule := "ECL" + m[1]
+		if !known[rule] {
+			out = append(out, Finding{Rule: rule, Msg: fmt.Sprintf(
+				"seed %s names a rule the registry does not ship", name)})
+			continue
+		}
+		golden := strings.TrimSuffix(name, ".ecl") + ".golden"
+		if _, err := os.Stat(filepath.Join(dir, golden)); err != nil {
+			out = append(out, Finding{Rule: rule, Msg: fmt.Sprintf(
+				"seed %s has no golden %s (run go test ./internal/analyze -run Goldens -update)", name, golden)})
+			continue
+		}
+		covered[rule] = true
+	}
+	for _, id := range analyze.RuleIDs() {
+		if !covered[id] {
+			out = append(out, Finding{Rule: id, Msg: fmt.Sprintf(
+				"no trigger seed ecl%s_*.ecl under %s", strings.TrimPrefix(id, "ECL"), dir)})
+		}
+	}
+	return out, nil
+}

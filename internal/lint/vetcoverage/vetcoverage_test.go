@@ -1,0 +1,60 @@
+package vetcoverage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoCoverage dogfoods the checker over the repo's own seeded vet
+// corpus: every shipped analyzer rule must have its trigger + golden.
+func TestRepoCoverage(t *testing.T) {
+	dir := filepath.Join("..", "..", "analyze", "testdata", "vet")
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+// TestDetectsGaps builds a synthetic corpus with every violation kind:
+// a rule with no seed, a seed with no golden, and a seed naming an
+// unshipped rule.
+func TestDetectsGaps(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("module m (input pure t) { await (t); }\n"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("ecl001_x.ecl") // covered: seed + golden
+	write("ecl001_x.golden")
+	write("ecl002_y.ecl") // golden missing
+	write("ecl999_z.ecl") // unshipped rule
+	write("ecl999_z.golden")
+	write("notes.txt") // ignored
+
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRule := map[string]int{}
+	for _, f := range findings {
+		byRule[f.Rule]++
+	}
+	if byRule["ECL001"] != 0 {
+		t.Error("covered rule ECL001 was flagged")
+	}
+	if byRule["ECL002"] == 0 {
+		t.Error("missing golden for ECL002 not flagged")
+	}
+	if byRule["ECL999"] == 0 {
+		t.Error("unshipped-rule seed ECL999 not flagged")
+	}
+	// Every real rule except ECL001/ECL002 has no seed in the temp dir.
+	if byRule["ECL030"] == 0 {
+		t.Error("rule with no seed not flagged")
+	}
+}

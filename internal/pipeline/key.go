@@ -112,6 +112,18 @@ func KeyAnalyze(machineKey, lowerKey string) string {
 	return hsum(h)
 }
 
+// KeyAnalyzeFile fingerprints the design-level analysis of one file:
+// the sem key (which chains back through parse to the exact source
+// bytes and preprocessor config) plus the rule registry's salt. No
+// module, policy, or machine enters the key — the design rules read
+// only the semantic tables, once per file.
+func KeyAnalyzeFile(semKey string) string {
+	h := fph(PhaseAnalyzeFile)
+	hpart(h, semKey)
+	hpart(h, analyze.KeySalt())
+	return hsum(h)
+}
+
 // KeyEmit fingerprints one emission: the machine it renders (by phase
 // key), the data-function bodies the back ends inline (by data
 // fingerprint), and the requested Go package name for emit-go.

@@ -50,6 +50,7 @@ const (
 	PhaseEFSM        Phase = "efsm"
 	PhaseEFSMMin     Phase = "efsm-min"
 	PhaseAnalyze     Phase = "analyze"
+	PhaseAnalyzeFile Phase = "analyze-file"
 	PhaseEmitEsterel Phase = "emit-esterel"
 	PhaseEmitC       Phase = "emit-c"
 	PhaseEmitGo      Phase = "emit-go"
@@ -71,7 +72,7 @@ const (
 func AllPhases() []Phase {
 	return []Phase{
 		PhaseParse, PhaseSem, PhaseLower, PhaseEFSM, PhaseEFSMMin,
-		PhaseAnalyze,
+		PhaseAnalyze, PhaseAnalyzeFile,
 		PhaseEmitEsterel, PhaseEmitC, PhaseEmitGo, PhaseEmitGlue,
 		PhaseEmitDot, PhaseEmitTable, PhaseEmitVerilog, PhaseEmitVHDL, PhaseEmitStats,
 	}
@@ -199,10 +200,15 @@ type Result struct {
 	// Findings holds the analyze phase's diagnostics (nil unless
 	// Request.Analyze; non-nil but possibly empty when it ran).
 	Findings []analyze.Finding
-	Stats    *core.Stats
-	Phases   []PhaseResult
-	Err      error
-	ErrPhase Phase
+	// FileFindings holds the design-level (analyze-file) diagnostics for
+	// the request's whole file. The design rules run once per shared
+	// compilation unit — every module request of the same file sees the
+	// same slice — so batch callers must dedup before printing.
+	FileFindings []analyze.Finding
+	Stats        *core.Stats
+	Phases       []PhaseResult
+	Err          error
+	ErrPhase     Phase
 }
 
 // Runner walks the phase graph with three snapshot tiers: an
@@ -477,6 +483,16 @@ func (r *Runner) Run(req Request) *Result {
 
 	prog := core.NewProgram(file, info, &diags, req.Opts)
 	res.Design = &core.Design{Program: prog, Lowered: low, Machine: final}
+
+	// analyze-file: the design-level rules over the whole file's
+	// interfaces. They ride the shared compilation unit — the first
+	// request of a file runs (or replays) them, every other module of
+	// the file records shared — and snapshot under the sem key.
+	if req.Analyze {
+		fs, st := r.fileAnalyze(u)
+		res.FileFindings = fs
+		record(PhaseAnalyzeFile, u.fileKey, st)
+	}
 
 	// analyze: the static-analysis phase. Findings serialize as a
 	// snapshot of their own, so a warm rebuild of an unchanged module

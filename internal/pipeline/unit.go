@@ -3,6 +3,7 @@ package pipeline
 import (
 	"sync"
 
+	"repro/internal/analyze"
 	"repro/internal/ast"
 	"repro/internal/parser"
 	"repro/internal/pp"
@@ -25,6 +26,14 @@ type unit struct {
 	info     *sem.Info
 	err      error
 	errPhase Phase // PhaseParse or PhaseSem when err != nil
+
+	// Design-level analysis (the analyze-file phase) also runs once per
+	// unit: the first analyzing request builds or replays the findings,
+	// every later one shares them.
+	fileOnce     sync.Once
+	fileKey      string
+	fileFindings []analyze.Finding
+	fileStatus   Status
 }
 
 // unitFor returns the compilation unit for the request's file, building
@@ -87,6 +96,36 @@ func (r *Runner) Modules(req Request) ([]string, Phase, error) {
 		names = append(names, m.Name)
 	}
 	return names, "", nil
+}
+
+// fileAnalyze serves the design-level (analyze-file) phase for one
+// unit: snapshot replay when the sem-chained key hits a tier, a real
+// AnalyzeFile run otherwise. The builder's status is whatever actually
+// happened; sharing requests report StatusShared, mirroring parse/sem.
+func (r *Runner) fileAnalyze(u *unit) ([]analyze.Finding, Status) {
+	built := false
+	u.fileOnce.Do(func() {
+		built = true
+		u.fileKey = KeyAnalyzeFile(u.semKey)
+		if blobs, st, ok := r.getSnap(u.fileKey, []string{blobFindings}); ok {
+			if fs, err := analyze.Decode([]byte(blobs[blobFindings])); err == nil {
+				u.fileFindings, u.fileStatus = fs, st
+				return
+			}
+		}
+		fs := analyze.AnalyzeFile(u.info)
+		if fs == nil {
+			fs = []analyze.Finding{}
+		}
+		u.fileFindings, u.fileStatus = fs, StatusRebuilt
+		if enc, err := analyze.Encode(fs); err == nil {
+			r.putSnap(PhaseAnalyzeFile, u.fileKey, map[string]string{blobFindings: string(enc)})
+		}
+	})
+	if built || r.NoShare {
+		return u.fileFindings, u.fileStatus
+	}
+	return u.fileFindings, StatusShared
 }
 
 // buildUnit runs the front end once for the unit's file: preprocess,
